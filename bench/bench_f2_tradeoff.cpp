@@ -1,0 +1,57 @@
+// Experiment F2 — the space-time trade-off of Theorem 1.1: at fixed n,
+// stabilization takes O((n²/r)·log n) interactions, so measured time should
+// scale ∝ 1/r while the per-agent state bits grow with r (see also F6).
+#include <iostream>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/measure.hpp"
+#include "core/params.hpp"
+#include "core/state_size.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssle;
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n", 64));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 20));
+
+  analysis::print_banner(
+      "F2 (Theorem 1.1 trade-off)",
+      "ElectLeader_r stabilizes in O((n²/r)·log n) interactions using "
+      "2^{O(r² log n)} states",
+      "interactions·r/(n²·ln n) roughly constant across r; bits grow ~r²");
+
+  util::Table table({"n", "r", "interactions(mean)", "ci95", "par.time",
+                     "inter·r/(n² ln n)", "state_bits", "fails"});
+  std::vector<double> rs, ys;
+  for (std::uint32_t r = 1; r <= n / 2; r *= 2) {
+    const core::Params params = core::Params::make(n, r);
+    const auto result = analysis::sweep(seed, trials, [&](std::uint64_t s) {
+      const auto run =
+          analysis::stabilize_clean(params, s, analysis::default_budget(params));
+      return run.converged ? static_cast<double>(run.interactions) : -1.0;
+    });
+    const double model = util::model_nlogn(n) * n / r;
+    table.add_row(
+        {util::fmt_int(n), util::fmt_int(r), util::fmt(result.summary.mean, 0),
+         util::fmt(util::ci95_halfwidth(result.summary), 0),
+         util::fmt(result.summary.mean / n, 1),
+         util::fmt(result.summary.mean / model, 2),
+         util::fmt(core::bits_elect_leader(params), 0),
+         util::fmt_int(static_cast<long long>(result.failures))});
+    rs.push_back(r);
+    ys.push_back(result.summary.mean);
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  const auto power = util::fit_power(rs, ys);
+  std::cout << "\nFit: T(r) ∝ r^" << util::fmt(power.exponent, 3)
+            << " (R²=" << util::fmt(power.r2, 4)
+            << "); the 1/r trade-off predicts an exponent near -1\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment F4 — Lemma E.1(b) robust completeness: with a duplicated rank
+// present, DetectCollision_r (run standalone, any initialization) raises ⊤
+// within O((n²/r)·log n) interactions w.h.p.  Sweeps n and the number of
+// duplicates; compares against the no-message ablation expectation (direct
+// meetings alone need Θ(n²) — the messages are the paper's speed-up).
+#include <iostream>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/detect_collision.hpp"
+#include "pp/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ssle;
+
+double detection_time(const core::Params& params,
+                      const std::vector<std::uint32_t>& ranks,
+                      std::uint64_t seed, std::uint64_t budget) {
+  std::vector<core::DcState> states;
+  states.reserve(ranks.size());
+  for (const auto rank : ranks) {
+    states.push_back(core::dc_initial_state(params, rank));
+  }
+  pp::UniformScheduler sched(static_cast<std::uint32_t>(ranks.size()), seed);
+  util::Rng rng(util::substream(seed, 4));
+  for (std::uint64_t t = 1; t <= budget; ++t) {
+    const auto [a, b] = sched.next();
+    core::detect_collision(params, ranks[a], states[a], ranks[b], states[b],
+                           rng);
+    if (states[a].error || states[b].error) return static_cast<double>(t);
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 40));
+
+  analysis::print_banner(
+      "F4 (Lemma E.1(b))",
+      "DetectCollision_r detects a duplicated rank within O((n²/r)·log n) "
+      "interactions w.h.p., regardless of its own initialization",
+      "detect/(n²·ln n / r) roughly constant; more duplicates detect faster");
+
+  util::Table table({"n", "r", "dups", "detect(mean)", "ci95",
+                     "detect·r/(n² ln n)", "fails"});
+  std::vector<double> ns, ys;
+  for (std::uint32_t n : {16u, 32u, 48u, 64u, 96u}) {
+    const std::uint32_t r = n / 2;
+    const core::Params params = core::Params::make(n, r);
+    for (std::uint32_t dups : {1u, 2u, n / 4}) {
+      std::vector<std::uint32_t> ranks(n);
+      for (std::uint32_t i = 0; i < n; ++i) ranks[i] = i + 1;
+      for (std::uint32_t d = 0; d < dups; ++d) {
+        ranks[d] = ranks[n - 1 - d];  // plant duplicates
+      }
+      const std::uint64_t L = core::Params::log2ceil(n);
+      const std::uint64_t budget = 3000ull * (n * n / r) * L + 500000;
+      const auto result =
+          analysis::sweep(seed, trials, [&](std::uint64_t s) {
+            return detection_time(params, ranks, s, budget);
+          });
+      const double model = util::model_nlogn(n) * n / r;
+      table.add_row({util::fmt_int(n), util::fmt_int(r), util::fmt_int(dups),
+                     util::fmt(result.summary.mean, 0),
+                     util::fmt(util::ci95_halfwidth(result.summary), 0),
+                     util::fmt(result.summary.mean / model, 2),
+                     util::fmt_int(static_cast<long long>(result.failures))});
+      if (dups == 1) {
+        ns.push_back(n);
+        ys.push_back(result.summary.mean);
+      }
+    }
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  // Detection latency for one duplicate ≈ signature-refresh wait
+  // (period · n/2 interactions) + message-spread time — both Θ(n log n)
+  // with r = n/2.  Compare both candidate models directly.
+  const double c1 = util::fit_scale(ns, ys, util::model_nlogn);
+  const double r2_nlogn = util::fit_r2(ns, ys, util::model_nlogn, c1);
+  const double c2 = util::fit_scale(ns, ys, util::model_n2);
+  const double r2_n2 = util::fit_r2(ns, ys, util::model_n2, c2);
+  std::cout << "\nSingle-duplicate detection: n·ln n fit gives "
+            << util::fmt(c1, 2) << "·n·ln n (R²=" << util::fmt(r2_nlogn, 3)
+            << "), n² fit R²=" << util::fmt(r2_n2, 3)
+            << ".  Lemma E.1(b) predicts O((n²/r) log n) = O(n log n) at "
+               "r = n/2; the message-free meeting bound would be Θ(n²).  "
+               "Note: single-duplicate latency has high variance (the wait "
+               "for the first signature refresh dominates).\n";
+  return 0;
+}

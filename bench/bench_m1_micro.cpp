@@ -1,0 +1,104 @@
+// Experiment M1 — engine micro-benchmarks (google-benchmark): raw
+// interaction throughput of each protocol, the scheduler, and the heavy
+// DetectCollision inner loops.  Not a paper claim; establishes the
+// simulation cost model used to size the other experiments.
+#include <benchmark/benchmark.h>
+
+#include "baselines/cai_izumi_wada.hpp"
+#include "baselines/loose_leader.hpp"
+#include "baselines/silent_ssr.hpp"
+#include "core/detect_collision.hpp"
+#include "core/elect_leader.hpp"
+#include "pp/simulator.hpp"
+
+namespace {
+
+using namespace ssle;
+
+void BM_Scheduler(benchmark::State& state) {
+  pp::UniformScheduler sched(static_cast<std::uint32_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.next());
+  }
+}
+BENCHMARK(BM_Scheduler)->Arg(64)->Arg(1024);
+
+void BM_ElectLeaderInteraction(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto r = static_cast<std::uint32_t>(state.range(1));
+  const core::Params params = core::Params::make(n, r);
+  core::ElectLeader protocol(params);
+  pp::Simulator<core::ElectLeader> sim(protocol, 1);
+  for (auto _ : state) {
+    sim.step(64);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ElectLeaderInteraction)
+    ->Args({64, 2})
+    ->Args({64, 16})
+    ->Args({64, 32})
+    ->Args({128, 64});
+
+void BM_DetectCollisionPair(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::Params params = core::Params::make(n, n / 2);
+  core::DcState a = core::dc_initial_state(params, 1);
+  core::DcState b = core::dc_initial_state(params, 2);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    core::detect_collision(params, 1, a, 2, b, rng);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectCollisionPair)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BalanceLoad(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::Params params = core::Params::make(n, n / 2);
+  core::DcState a = core::dc_initial_state(params, 1);
+  core::DcState b = core::dc_initial_state(params, 2);
+  for (auto _ : state) {
+    core::balance_load(params, 1, a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_BalanceLoad)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CaiIzumiWada(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  baselines::CaiIzumiWada protocol(n);
+  pp::Simulator<baselines::CaiIzumiWada> sim(protocol, 1);
+  for (auto _ : state) {
+    sim.step(1024);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CaiIzumiWada)->Arg(1024);
+
+void BM_SilentSsr(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  baselines::SilentSsrBaseline protocol(n);
+  pp::Simulator<baselines::SilentSsrBaseline> sim(protocol, 1);
+  for (auto _ : state) {
+    sim.step(256);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SilentSsr)->Arg(128);
+
+void BM_LooseLeader(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  baselines::LooseLeaderElection protocol(n);
+  pp::Simulator<baselines::LooseLeaderElection> sim(protocol, 1);
+  for (auto _ : state) {
+    sim.step(1024);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_LooseLeader)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

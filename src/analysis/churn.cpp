@@ -1,0 +1,45 @@
+#include "analysis/churn.hpp"
+
+#include "core/elect_leader.hpp"
+#include "core/safety.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssle::analysis {
+
+ChurnReport run_churn(const core::Params& params, const ChurnSpec& spec,
+                      std::uint64_t seed) {
+  core::ElectLeader protocol(params);
+  auto config = core::make_safe_config(params);
+  pp::UniformScheduler sched(params.n, util::substream(seed, 1));
+  util::Rng agent_rng(util::substream(seed, 2));
+  util::Rng fault_rng(util::substream(seed, 3));
+
+  ChurnReport report;
+  const std::uint64_t probe_every =
+      spec.probe_every == 0 ? params.n : spec.probe_every;
+  for (std::uint64_t t = 1; t <= spec.horizon; ++t) {
+    const auto [a, b] = sched.next();
+    protocol.interact(config[a], config[b], agent_rng);
+
+    if (spec.burst_period != 0 && t % spec.burst_period == 0) {
+      ++report.bursts;
+      for (std::uint32_t k = 0; k < spec.burst_size; ++k) {
+        const auto victim =
+            static_cast<std::uint32_t>(fault_rng.below(params.n));
+        config[victim] = core::random_agent(params, fault_rng);
+        ++report.agents_corrupted;
+      }
+    }
+
+    if (t % probe_every == 0) {
+      ++report.probes;
+      report.probes_with_unique_leader +=
+          core::leader_count(config) == 1 ? 1 : 0;
+      report.probes_safe +=
+          core::is_safe_configuration(params, config) ? 1 : 0;
+    }
+  }
+  return report;
+}
+
+}  // namespace ssle::analysis

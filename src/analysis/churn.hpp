@@ -1,0 +1,50 @@
+// Sustained-churn harness: keeps corrupting random agents while the
+// protocol runs and measures availability — the operational consequence of
+// self-stabilization (the protocol re-converges after every fault burst,
+// forever, without external intervention).
+#pragma once
+
+#include <cstdint>
+
+#include "core/adversary.hpp"
+#include "core/params.hpp"
+
+namespace ssle::analysis {
+
+struct ChurnSpec {
+  /// Interactions between fault bursts (0 = no churn).
+  std::uint64_t burst_period = 0;
+  /// Agents corrupted per burst (re-randomized via core::random_agent).
+  std::uint32_t burst_size = 0;
+  /// Total interactions to simulate.
+  std::uint64_t horizon = 0;
+  /// Interactions between availability probes.
+  std::uint64_t probe_every = 0;
+};
+
+struct ChurnReport {
+  std::uint64_t probes = 0;
+  std::uint64_t probes_with_unique_leader = 0;
+  std::uint64_t probes_safe = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t agents_corrupted = 0;
+
+  /// Fraction of probes with exactly one leader present.
+  double leader_availability() const {
+    return probes == 0 ? 0.0
+                       : static_cast<double>(probes_with_unique_leader) /
+                             static_cast<double>(probes);
+  }
+  /// Fraction of probes in a provably safe configuration.
+  double safe_availability() const {
+    return probes == 0
+               ? 0.0
+               : static_cast<double>(probes_safe) / static_cast<double>(probes);
+  }
+};
+
+/// Runs ElectLeader_r from a safe configuration under the given churn.
+ChurnReport run_churn(const core::Params& params, const ChurnSpec& spec,
+                      std::uint64_t seed);
+
+}  // namespace ssle::analysis

@@ -1,0 +1,34 @@
+#include "analysis/experiment.hpp"
+
+#include <iostream>
+
+namespace ssle::analysis {
+
+SweepResult sweep(std::uint64_t base_seed, std::size_t trials,
+                  const std::function<double(std::uint64_t)>& measure) {
+  SweepResult res;
+  res.samples.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const double value = measure(base_seed + t);
+    if (value < 0.0) {
+      ++res.failures;
+    } else {
+      res.samples.push_back(value);
+    }
+  }
+  res.summary = util::summarize(res.samples);
+  return res;
+}
+
+void print_banner(const std::string& experiment_id, const std::string& claim,
+                  const std::string& prediction) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << "Experiment " << experiment_id << '\n'
+            << "Claim:      " << claim << '\n'
+            << "Prediction: " << prediction << '\n'
+            << "==============================================================="
+               "=================\n";
+}
+
+}  // namespace ssle::analysis

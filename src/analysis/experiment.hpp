@@ -1,0 +1,29 @@
+// Seed-sweep experiment driver: runs a measurement across independent
+// seeds and aggregates summary statistics.  Used by every bench binary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace ssle::analysis {
+
+struct SweepResult {
+  util::Summary summary;        ///< of the per-seed measurements
+  std::size_t failures = 0;     ///< seeds that did not converge in budget
+  std::vector<double> samples;  ///< converged samples only
+};
+
+/// Runs `measure(seed)` for `trials` consecutive seeds starting at
+/// `base_seed`; a negative return marks a failed (non-converged) trial.
+SweepResult sweep(std::uint64_t base_seed, std::size_t trials,
+                  const std::function<double(std::uint64_t)>& measure);
+
+/// Standard experiment banner printed by every bench binary.
+void print_banner(const std::string& experiment_id, const std::string& claim,
+                  const std::string& prediction);
+
+}  // namespace ssle::analysis

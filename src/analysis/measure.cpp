@@ -1,0 +1,61 @@
+#include "analysis/measure.hpp"
+
+#include <cmath>
+
+#include "core/safety.hpp"
+#include "pp/simulator.hpp"
+
+namespace ssle::analysis {
+
+std::uint64_t default_budget(const core::Params& params) {
+  const double n = params.n;
+  const double r = params.r;
+  const double L = std::log2(n) + 1.0;
+  return static_cast<std::uint64_t>(150.0 * (n * n / r) * L) + 200000;
+}
+
+StabilizationResult stabilize_from(const core::Params& params,
+                                   std::vector<core::Agent> config,
+                                   std::uint64_t seed,
+                                   std::uint64_t max_interactions) {
+  core::ElectLeader protocol(params);
+  pp::Population<core::ElectLeader> population(std::move(config));
+  pp::Simulator<core::ElectLeader> sim(protocol, std::move(population), seed);
+
+  const auto probe = [&](const pp::Population<core::ElectLeader>& pop,
+                         std::uint64_t) {
+    return core::is_safe_configuration(params, pop.states());
+  };
+  const auto run = sim.run_until(probe, max_interactions,
+                                 /*probe_every=*/params.n);
+
+  StabilizationResult res;
+  res.converged = run.converged;
+  res.interactions = run.interactions;
+  res.parallel_time = run.parallel_time(params.n);
+  res.leaders = core::leader_count(sim.population().states());
+  return res;
+}
+
+StabilizationResult stabilize_clean(const core::Params& params,
+                                    std::uint64_t seed,
+                                    std::uint64_t max_interactions) {
+  core::ElectLeader protocol(params);
+  std::vector<core::Agent> config;
+  config.reserve(params.n);
+  for (std::uint32_t i = 0; i < params.n; ++i) {
+    config.push_back(protocol.initial_state(i));
+  }
+  return stabilize_from(params, std::move(config), seed, max_interactions);
+}
+
+StabilizationResult stabilize_adversarial(const core::Params& params,
+                                          core::Corruption c,
+                                          std::uint64_t seed,
+                                          std::uint64_t max_interactions) {
+  util::Rng rng(util::substream(seed, 77));
+  auto config = core::make_adversarial_config(params, c, rng);
+  return stabilize_from(params, std::move(config), seed, max_interactions);
+}
+
+}  // namespace ssle::analysis

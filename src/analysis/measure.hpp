@@ -1,0 +1,44 @@
+// Stabilization / convergence measurement for ElectLeader_r and baselines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "core/agent.hpp"
+#include "core/elect_leader.hpp"
+#include "core/params.hpp"
+
+namespace ssle::analysis {
+
+struct StabilizationResult {
+  bool converged = false;
+  std::uint64_t interactions = 0;
+  double parallel_time = 0.0;
+  std::uint32_t leaders = 0;  ///< leader count at the end
+};
+
+/// Runs ElectLeader_r from its clean initial configuration until the safe
+/// predicate holds (or the budget is exhausted).
+StabilizationResult stabilize_clean(const core::Params& params,
+                                    std::uint64_t seed,
+                                    std::uint64_t max_interactions);
+
+/// Runs ElectLeader_r from an adversarial configuration of class `c`.
+StabilizationResult stabilize_adversarial(const core::Params& params,
+                                          core::Corruption c,
+                                          std::uint64_t seed,
+                                          std::uint64_t max_interactions);
+
+/// Runs ElectLeader_r from an explicit configuration.
+StabilizationResult stabilize_from(const core::Params& params,
+                                   std::vector<core::Agent> config,
+                                   std::uint64_t seed,
+                                   std::uint64_t max_interactions);
+
+/// A generous default interaction budget for (n, r):
+/// c · (n²/r) · log n, scaled to dominate the protocol's constants.
+std::uint64_t default_budget(const core::Params& params);
+
+}  // namespace ssle::analysis

@@ -1,0 +1,14 @@
+#include "baselines/cai_izumi_wada.hpp"
+
+namespace ssle::baselines {
+
+bool CaiIzumiWada::is_stable(const std::vector<State>& config) const {
+  std::vector<bool> seen(n_ + 1, false);
+  for (const State& s : config) {
+    if (s.rank < 1 || s.rank > n_ || seen[s.rank]) return false;
+    seen[s.rank] = true;
+  }
+  return true;
+}
+
+}  // namespace ssle::baselines

@@ -1,0 +1,50 @@
+// Cai–Izumi–Wada (2012) self-stabilizing leader election / ranking with
+// exactly n states and O(n²) expected time (paper §2: "a self-stabilizing
+// leader election protocol using only n states and time O(n²) in
+// expectation"; silent; solves the problem via ranking).
+//
+// Transition: when two agents with equal ranks meet, the responder moves
+// to the cyclically next rank.  From any configuration the multiset of
+// ranks converges to the permutation of [n]; the agent with rank 1 is the
+// leader.  This is the space-optimal / slow extreme of the trade-off and
+// the "silent regime" comparison point of experiment T1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ssle::baselines {
+
+class CaiIzumiWada {
+ public:
+  struct State {
+    std::uint32_t rank = 1;  ///< ∈ [n]
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  explicit CaiIzumiWada(std::uint32_t n) : n_(n) {}
+
+  std::uint32_t population_size() const { return n_; }
+
+  /// All agents start at rank 1 (any start is fine — self-stabilizing).
+  State initial_state(std::uint32_t /*agent*/) const { return State{1}; }
+
+  void interact(State& u, State& v, util::Rng& /*rng*/) const {
+    if (u.rank == v.rank) {
+      v.rank = v.rank % n_ + 1;  // responder steps to the next rank
+    }
+  }
+
+  static bool is_leader(const State& s) { return s.rank == 1; }
+
+  /// Stable iff ranks form a permutation of [n] (the protocol is silent
+  /// there: no transition changes any state).
+  bool is_stable(const std::vector<State>& config) const;
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace ssle::baselines

@@ -1,0 +1,45 @@
+// The folklore two-state *non-self-stabilizing* leader election (paper §2,
+// "Non Self-Stabilizing Leader Election" — the common ancestor of
+// [1–3, 10–12, 23, 24, 31]): all agents start as potential leaders; when
+// two leaders meet, the responder abdicates.  Converges in Θ(n) parallel
+// time with 2 states — but from a leaderless configuration it deadlocks,
+// which is precisely why self-stabilization (and the paper's machinery)
+// is needed.  Included as the context row of experiment T1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ssle::baselines {
+
+class FightLeaderElection {
+ public:
+  struct State {
+    bool leader = true;  ///< everyone starts as a potential leader
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  explicit FightLeaderElection(std::uint32_t n) : n_(n) {}
+
+  std::uint32_t population_size() const { return n_; }
+  State initial_state(std::uint32_t /*agent*/) const { return State{}; }
+
+  void interact(State& u, State& v, util::Rng& /*rng*/) const {
+    if (u.leader && v.leader) v.leader = false;
+  }
+
+  static bool is_leader(const State& s) { return s.leader; }
+
+  std::uint32_t leader_count(const std::vector<State>& config) const {
+    std::uint32_t k = 0;
+    for (const State& s : config) k += s.leader ? 1 : 0;
+    return k;
+  }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace ssle::baselines

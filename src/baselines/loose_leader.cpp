@@ -1,0 +1,46 @@
+#include "baselines/loose_leader.hpp"
+
+#include <algorithm>
+
+namespace ssle::baselines {
+
+LooseLeaderElection::LooseLeaderElection(std::uint32_t n,
+                                         std::uint32_t timeout_scale)
+    : n_(n) {
+  std::uint32_t log2n = 0;
+  while ((1u << log2n) < n) ++log2n;
+  timeout_ = std::max<std::uint32_t>(4, timeout_scale * (log2n + 1));
+}
+
+void LooseLeaderElection::interact(State& u, State& v,
+                                   util::Rng& /*rng*/) const {
+  if (u.leader && v.leader) {
+    v.leader = false;  // duplicate leaders fight; the responder abdicates
+    u.timer = timeout_;
+    v.timer = timeout_;
+    return;
+  }
+  if (u.leader || v.leader) {
+    u.timer = timeout_;  // heartbeat from the leader refills both timers
+    v.timer = timeout_;
+    return;
+  }
+  const std::uint32_t merged = std::max(u.timer, v.timer);
+  const std::uint32_t next = merged > 0 ? merged - 1 : 0;
+  u.timer = next;
+  v.timer = next;
+  if (next == 0) {
+    u.leader = true;  // timeout: the initiator promotes itself
+    u.timer = timeout_;
+    v.timer = timeout_;
+  }
+}
+
+std::uint32_t LooseLeaderElection::leader_count(
+    const std::vector<State>& config) const {
+  std::uint32_t count = 0;
+  for (const State& s : config) count += s.leader ? 1 : 0;
+  return count;
+}
+
+}  // namespace ssle::baselines

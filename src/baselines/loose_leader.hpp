@@ -1,0 +1,53 @@
+// Loosely-stabilizing leader election in the style of Sudo et al.
+// (paper §2, "Loosely Self-stabilizing Leader Election"): from any
+// configuration a unique leader emerges within O(τ + log n) parallel time
+// and is then *held* for a long (but not infinite) time governed by the
+// timeout parameter τ.
+//
+// Mechanics (timeout / oscillator pattern):
+//   * leader × leader    → the responder abdicates;
+//   * leader × follower  → both timers refill to τ;
+//   * follower × follower→ both adopt max(timers) − 1; an agent whose
+//     timer reaches 0 concludes the leader is gone and promotes itself.
+//
+// Included as the relaxation comparison point of experiment T1 — it is
+// much cheaper (O(τ) states) than true self-stabilization but only
+// provides a finite holding time, which bench_t1 also measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ssle::baselines {
+
+class LooseLeaderElection {
+ public:
+  struct State {
+    bool leader = false;
+    std::uint32_t timer = 0;
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  /// τ = timeout_scale · log2(n); holding time grows with timeout_scale.
+  explicit LooseLeaderElection(std::uint32_t n, std::uint32_t timeout_scale = 16);
+
+  std::uint32_t population_size() const { return n_; }
+
+  /// Worst clean start: nobody is a leader, all timers empty.
+  State initial_state(std::uint32_t /*agent*/) const { return State{}; }
+
+  void interact(State& u, State& v, util::Rng& rng) const;
+
+  static bool is_leader(const State& s) { return s.leader; }
+
+  std::uint32_t leader_count(const std::vector<State>& config) const;
+  std::uint32_t timeout() const { return timeout_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t timeout_;
+};
+
+}  // namespace ssle::baselines

@@ -1,0 +1,92 @@
+#include "baselines/silent_ssr.hpp"
+
+namespace ssle::baselines {
+
+namespace {
+
+/// Inserts into a sorted unique vector; returns true if inserted.
+bool insert_sorted(std::vector<std::uint64_t>& xs, std::uint64_t v) {
+  auto it = std::lower_bound(xs.begin(), xs.end(), v);
+  if (it != xs.end() && *it == v) return false;
+  xs.insert(it, v);
+  return true;
+}
+
+}  // namespace
+
+SilentSsrBaseline::SilentSsrBaseline(std::uint32_t n)
+    : n_(n),
+      name_space_(static_cast<std::uint64_t>(n) * n * n),
+      settle_max_(8 * (32 - static_cast<std::uint32_t>(
+                                __builtin_clz(n | 1)))) {}
+
+void SilentSsrBaseline::fresh_epoch(State& s, std::uint32_t epoch,
+                                    util::Rng& rng) const {
+  s.epoch = epoch;
+  s.name = 1 + rng.below(name_space_);
+  s.names.assign(1, s.name);
+  s.settle = settle_max_;
+  s.rank = 0;
+}
+
+void SilentSsrBaseline::bump_epoch(State& u, State& v, util::Rng& rng) const {
+  const std::uint32_t next = std::max(u.epoch, v.epoch) + 1;
+  fresh_epoch(u, next, rng);
+  fresh_epoch(v, next, rng);
+}
+
+void SilentSsrBaseline::interact(State& u, State& v, util::Rng& rng) const {
+  // Epoch epidemic: the lower epoch joins the higher one afresh.
+  if (u.epoch != v.epoch) {
+    State& behind = u.epoch < v.epoch ? u : v;
+    const std::uint32_t epoch = std::max(u.epoch, v.epoch);
+    fresh_epoch(behind, epoch, rng);
+  }
+
+  if (u.name == 0) fresh_epoch(u, u.epoch, rng);
+  if (v.name == 0) fresh_epoch(v, v.epoch, rng);
+
+  // Direct name collision: the configuration is provably broken.
+  if (u.name == v.name) {
+    bump_epoch(u, v, rng);
+    return;
+  }
+
+  // Union of name sets (two-way broadcast).
+  bool u_changed = false;
+  bool v_changed = false;
+  for (std::uint64_t name : v.names) u_changed |= insert_sorted(u.names, name);
+  for (std::uint64_t name : u.names) v_changed |= insert_sorted(v.names, name);
+
+  // Over-full set: impossible in a legal run of n agents.
+  if (u.names.size() > n_ || v.names.size() > n_) {
+    bump_epoch(u, v, rng);
+    return;
+  }
+
+  for (State* s : {&u, &v}) {
+    const bool changed = (s == &u) ? u_changed : v_changed;
+    if (changed) {
+      s->settle = settle_max_;
+      s->rank = 0;
+      continue;
+    }
+    if (s->settle > 0) --s->settle;
+    if (s->settle == 0 && s->names.size() == n_ && s->rank == 0) {
+      const auto it =
+          std::lower_bound(s->names.begin(), s->names.end(), s->name);
+      s->rank = static_cast<std::uint32_t>(it - s->names.begin()) + 1;
+    }
+  }
+}
+
+bool SilentSsrBaseline::is_stable(const std::vector<State>& config) const {
+  std::vector<bool> seen(n_ + 1, false);
+  for (const State& s : config) {
+    if (s.rank < 1 || s.rank > n_ || seen[s.rank]) return false;
+    seen[s.rank] = true;
+  }
+  return true;
+}
+
+}  // namespace ssle::baselines

@@ -1,0 +1,49 @@
+// Adversarial initial configurations for exercising self-stabilization.
+//
+// Self-stabilization quantifies over *every* configuration in Q^n
+// (§1.1).  This module generates structured corruption classes (the
+// failure modes the paper's analysis distinguishes, cf. the recovery
+// hierarchy Ĉ0 ⊃ ... ⊃ Ĉ5 of Lemma 6.3) plus unstructured random states.
+// All generated states respect the formal state space, including the
+// restriction that an agent's own held messages match its observations
+// (§5.1: "we can circumvent it by definition").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "core/params.hpp"
+#include "util/rng.hpp"
+
+namespace ssle::core {
+
+enum class Corruption {
+  kNone,              ///< the clean safe configuration (control)
+  kDuplicateRanks,    ///< correct-looking ranking with duplicated ranks
+  kNoLeader,          ///< ranking shifted so no agent has rank 1
+  kCorruptMessages,   ///< correct ranking, corrupted circulating contents
+  kLostMessages,      ///< correct ranking, some messages dropped
+  kMixedGenerations,  ///< correct ranking, random generations/probation
+  kMidRanking,        ///< all agents in random AssignRanks states
+  kAllResetting,      ///< all agents resetting with random counters
+  kRandomStates,      ///< unstructured: every field randomized
+};
+
+/// All corruption classes, for parameterized sweeps.
+std::vector<Corruption> all_corruptions();
+std::string corruption_name(Corruption c);
+
+/// A correct, quiescent configuration: verifiers ranked 1..n, generation 0,
+/// probation 0, message system at q0,DC.  Satisfies is_safe_configuration.
+std::vector<Agent> make_safe_config(const Params& params);
+
+/// A configuration of the given corruption class.
+std::vector<Agent> make_adversarial_config(const Params& params, Corruption c,
+                                           util::Rng& rng);
+
+/// Fully random single agent state (used by kRandomStates and fuzz tests).
+Agent random_agent(const Params& params, util::Rng& rng);
+
+}  // namespace ssle::core

@@ -1,0 +1,140 @@
+// Agent state of ElectLeader_r (paper §4, Fig. 1–3).
+//
+// The paper stores, per role, only the "active" fields and takes the state
+// space as the disjoint union of the roles' cross-products.  The simulation
+// keeps all sub-records in one struct and resets newly-inactive fields on
+// every role change; state-space *size* accounting (which is what the
+// paper's bounds are about) lives in core/state_size.*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssle::core {
+
+// ---------------------------------------------------------------------------
+// PropagateReset fields (App. C, Protocol 4/5/6)
+// ---------------------------------------------------------------------------
+struct ResetState {
+  std::uint32_t reset_count = 0;  ///< resetCount ∈ {0, ..., R_max}
+  std::uint32_t delay_timer = 0;  ///< delayTimer ∈ {0, ..., D_max}
+  friend bool operator==(const ResetState&, const ResetState&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// AssignRanks_r fields (App. D, Protocols 7–11) including the embedded
+// FastLeaderElect (App. D.2, Fig. 4)
+// ---------------------------------------------------------------------------
+enum class ArType : std::uint8_t {
+  kLeaderElection,  ///< running FastLeaderElect
+  kSheriff,         ///< holds a badge range [lowBadge, highBadge]
+  kDeputy,          ///< holds a single badge = deputy id
+  kRecipient,       ///< waiting for / holding a label
+  kSleeper,         ///< waiting c_sleep·log n interactions before ranking
+  kRanked,          ///< final: rank chosen, AssignRanks is silent
+};
+
+/// Temporary label (deputy id, counter value); deputy == 0 means ⊥.
+struct Label {
+  std::uint32_t deputy = 0;
+  std::uint32_t index = 0;
+  bool valid() const { return deputy != 0; }
+  friend bool operator==(const Label&, const Label&) = default;
+};
+
+struct FastLeState {
+  bool drawn = false;           ///< identifier sampled on first activation
+  std::uint64_t identifier = 0;      ///< ∈ [n³]
+  std::uint64_t min_identifier = 0;  ///< min seen via two-way epidemic
+  std::uint32_t le_count = 0;        ///< countdown Θ(log n)
+  bool leader_done = false;
+  bool leader_bit = false;
+  friend bool operator==(const FastLeState&, const FastLeState&) = default;
+};
+
+struct ArState {
+  ArType type = ArType::kLeaderElection;
+  FastLeState le;
+
+  // Sheriff fields.
+  std::uint32_t low_badge = 0;
+  std::uint32_t high_badge = 0;
+
+  // Deputy fields.
+  std::uint32_t deputy_id = 0;
+  std::uint32_t counter = 0;  ///< labels handed out (including its own)
+
+  // Recipient / sleeper fields.
+  Label label;
+  std::uint32_t sleep_timer = 0;
+
+  /// channel[i] = highest label count heard from deputy i+1 (max-epidemic).
+  /// Active for all non-LE, non-Ranked types.
+  std::vector<std::uint32_t> channel;
+
+  /// Final rank; meaningful only once type == kRanked (initialized to 1:
+  /// "This is initialised to 1 and updated only when agent becomes ranked").
+  std::uint32_t rank = 1;
+
+  friend bool operator==(const ArState&, const ArState&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// DetectCollision_r fields (§5.1, Fig. 3)
+// ---------------------------------------------------------------------------
+
+/// One circulating message (ID, content); the governing rank is implied by
+/// the bucket the message is stored in.  Content is the governor's signature
+/// at the time of the last re-stamp.
+struct Msg {
+  std::uint32_t id = 0;
+  std::uint32_t content = 0;
+  friend bool operator==(const Msg&, const Msg&) = default;
+  friend auto operator<=>(const Msg& a, const Msg& b) { return a.id <=> b.id; }
+};
+
+struct DcState {
+  bool error = false;  ///< the ⊤ state
+
+  std::uint32_t signature = 0;  ///< ∈ [m⁵] (capped at 2³²−1)
+  std::uint32_t counter = 0;    ///< interactions until signature refresh
+
+  /// msgs[k] = messages governed by the k-th rank of this agent's group
+  /// that this agent currently holds, sorted by ID (sparse array of Fig. 3).
+  std::vector<std::vector<Msg>> msgs;
+
+  /// observations[j] = content this agent last stamped into its own message
+  /// with ID j+1 (dense array of Fig. 3).
+  std::vector<std::uint32_t> observations;
+
+  friend bool operator==(const DcState&, const DcState&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// StableVerify_r fields (§5, Fig. 2)
+// ---------------------------------------------------------------------------
+struct SvState {
+  std::uint32_t generation = 0;       ///< ∈ Z₆
+  std::uint32_t probation_timer = 0;  ///< ∈ [P_max]
+  DcState dc;
+  friend bool operator==(const SvState&, const SvState&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// ElectLeader_r wrapper (§4, Protocol 1)
+// ---------------------------------------------------------------------------
+enum class Role : std::uint8_t { kResetting, kRanking, kVerifying };
+
+struct Agent {
+  Role role = Role::kRanking;
+  std::uint32_t countdown = 0;  ///< ∈ [C_max], rankers only
+  std::uint32_t rank = 1;       ///< presumed rank ∈ [n]
+
+  ResetState reset;  ///< active while role == kResetting
+  ArState ar;        ///< active while role == kRanking
+  SvState sv;        ///< active while role == kVerifying
+
+  friend bool operator==(const Agent&, const Agent&) = default;
+};
+
+}  // namespace ssle::core

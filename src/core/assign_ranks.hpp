@@ -1,0 +1,53 @@
+// AssignRanks_r — the parameterized, non-self-stabilizing ranking protocol
+// (App. D, Protocols 7–11, Lemma D.1).
+//
+// Pipeline, starting from a dormant configuration:
+//   1. FastLeaderElect nominates a unique *sheriff* holding badges [1, r].
+//   2. The sheriff repeatedly deputizes recipients, halving its badge
+//      range (Protocol 9); a badge range of size one makes a *deputy*.
+//   3. Once all r deputies exist (every channel entry ≥ 1, i.e. the
+//      channel sum is ≥ r), deputies hand out labels (id, counter) from a
+//      pool of c·n/r (Protocol 10); assigned counts spread via the
+//      channel[] max-epidemic.
+//   4. When an agent hears Σ channel = n it *sleeps* for c_sleep·log n of
+//      its own interactions (Protocol 11), then picks the rank given by
+//      the lexicographic position of its label and becomes silent.
+//
+// Lemma D.1: unique ranks in [n] within c·(n²/r)·log n interactions w.h.p.
+// from any dormant configuration, using 2^{O(r log n)} states, silent.
+#pragma once
+
+#include "core/agent.hpp"
+#include "core/params.hpp"
+#include "util/rng.hpp"
+
+namespace ssle::core {
+
+/// The clean q0,AR state: in leader election, identifier not yet drawn.
+ArState ar_initial_state(const Params& params);
+
+/// Protocol 7.  One AssignRanks_r interaction.
+void assign_ranks(const Params& params, ArState& u, ArState& v,
+                  util::Rng& rng);
+
+/// Protocol 8.  Leader-election step / exit into the labelled world.
+void elect_sheriff(const Params& params, ArState& u, ArState& v,
+                   util::Rng& rng);
+
+/// Protocol 9.  Sheriff splits its badge range with a recipient.
+void deputize(const Params& params, ArState& u, ArState& v);
+
+/// Protocol 10.  A deputy labels an unlabelled recipient.
+void labeling(const Params& params, ArState& u, ArState& v);
+
+/// Protocol 11.  Sleep/wake logic; ranked agents wake sleepers.
+void ar_sleep(const Params& params, ArState& u, ArState& v);
+
+/// Rank derived from a complete channel and a label (pre-agreed bijection:
+/// rank = Σ_{i < deputy} channel[i] + index).  Invalid labels map to 1.
+std::uint32_t rank_from_label(const ArState& s);
+
+/// True once AssignRanks is silent for this agent.
+inline bool ar_ranked(const ArState& s) { return s.type == ArType::kRanked; }
+
+}  // namespace ssle::core

@@ -1,0 +1,49 @@
+#include "core/derandomized.hpp"
+
+namespace ssle::core {
+
+namespace {
+
+/// Folds a coin buffer into 64 bits by sampling it (keeps the coin's
+/// freshness bookkeeping intact: sampling marks the buffer stale, and the
+/// paper guarantees a full refresh between uses, Lemma B.1 property 2).
+std::uint64_t harvest(SyntheticCoin& coin) { return coin.sample(); }
+
+}  // namespace
+
+DerandomizedElectLeader::DerandomizedElectLeader(Params params)
+    : inner_(std::move(params)) {}
+
+DerandomizedElectLeader::State DerandomizedElectLeader::initial_state(
+    std::uint32_t agent) const {
+  // Coin space: the largest value any sub-protocol draws is the identifier
+  // space [n³] (App. D.2); signatures ([m⁵] capped) are smaller.
+  State s{inner_.initial_state(agent),
+          SyntheticCoin(inner_.params().identifier_space)};
+  // Stagger the alternating coins: agent parity seeds the initial flip, so
+  // the coin population starts balanced (the BFKK drift then keeps it so).
+  if (agent % 2 == 1) s.coin.observe(agent % 4 == 1);
+  return s;
+}
+
+void DerandomizedElectLeader::interact(State& u, State& v,
+                                       util::Rng& /*engine_rng*/) const {
+  // Step 1: coin exchange (Eqs. 4–7): each agent flips its own coin and
+  // records the partner's *previous* coin value.
+  const bool coin_u = u.coin.coin();
+  const bool coin_v = v.coin.coin();
+  u.coin.observe(coin_v);
+  v.coin.observe(coin_u);
+
+  // Step 2: derive this interaction's draws deterministically from the
+  // harvested buffers.  util::Rng here is merely a bit-mixer seeded from
+  // state — no external entropy enters.
+  const std::uint64_t hu = harvest(u.coin);
+  const std::uint64_t hv = harvest(v.coin);
+  util::Rng draws(hu * 0x9e3779b97f4a7c15ULL ^ (hv << 1));
+
+  // Step 3: the ordinary transition.
+  inner_.interact(u.agent, v.agent, draws);
+}
+
+}  // namespace ssle::core

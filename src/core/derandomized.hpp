@@ -1,0 +1,57 @@
+// DerandomizedElectLeader — ElectLeader_r with a *deterministic* transition
+// function (paper App. B, Lemma B.1).
+//
+// Population-protocol transition functions are formally deterministic; the
+// probabilistic presentation of the protocols is a convenience.  Appendix B
+// derandomizes them with synthetic coins: every agent carries an
+// alternating Coin plus a ring buffer of the partner coins seen in its last
+// log N interactions.  Those harvested bits are (almost) uniform because
+// the *scheduler* is random.
+//
+// Here each agent's state is (Agent, SyntheticCoin); an interaction
+//   1. exchanges and records the partners' coins (Eqs. 4–7),
+//   2. derives the interaction's random draws from the two coin buffers
+//      (a deterministic function of the joint state), and
+//   3. runs the ordinary ElectLeader_r transition with those draws.
+// The resulting δ is a pure function (State × State) → (State × State):
+// replaying the same interaction sequence reproduces the run bit-for-bit,
+// and all entropy originates from the uniformly random scheduler.
+#pragma once
+
+#include <cstdint>
+
+#include "core/elect_leader.hpp"
+#include "core/synthetic_coin.hpp"
+
+namespace ssle::core {
+
+class DerandomizedElectLeader {
+ public:
+  struct State {
+    Agent agent;
+    SyntheticCoin coin;
+    friend bool operator==(const State& a, const State& b) {
+      return a.agent == b.agent;  // coins are auxiliary randomness state
+    }
+  };
+
+  explicit DerandomizedElectLeader(Params params);
+
+  std::uint32_t population_size() const { return inner_.population_size(); }
+  const Params& params() const { return inner_.params(); }
+
+  State initial_state(std::uint32_t agent) const;
+
+  /// Deterministic: ignores the engine RNG entirely (it is required by the
+  /// pp::Protocol concept but never advanced).
+  void interact(State& u, State& v, util::Rng& engine_rng) const;
+
+  static bool is_leader(const State& s) {
+    return ElectLeader::is_leader(s.agent);
+  }
+
+ private:
+  ElectLeader inner_;
+};
+
+}  // namespace ssle::core

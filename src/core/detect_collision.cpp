@@ -1,0 +1,213 @@
+#include "core/detect_collision.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssle::core {
+
+namespace {
+
+/// Index of `rank` within its group, 0-based, for msgs bucket addressing.
+std::uint32_t bucket_of(const Params& params, std::uint32_t rank) {
+  return params.rank_in_group(rank) - 1;
+}
+
+}  // namespace
+
+DcState dc_initial_state(const Params& params, std::uint32_t rank) {
+  const std::uint32_t group = params.group_of(rank);
+  const std::uint32_t m = params.group_size(group);
+  const std::uint32_t ids = params.ids_per_rank(group);
+  const std::uint32_t pos = params.rank_in_group(rank);  // 1-based
+
+  DcState s;
+  s.signature = 1;
+  s.counter = 1;
+  s.observations.assign(ids, 1);
+  s.msgs.assign(m, {});
+
+  // Pre-mixed slice: agent at position pos holds IDs
+  // [(pos-1)·slice + 1, pos·slice] of every rank of its group, where
+  // slice = ids / m (the last position also takes the remainder IDs).
+  const std::uint32_t slice = ids / m;
+  const std::uint32_t lo = (pos - 1) * slice + 1;
+  const std::uint32_t hi = (pos == m) ? ids : pos * slice;
+  for (std::uint32_t k = 0; k < m; ++k) {
+    auto& bucket = s.msgs[k];
+    bucket.reserve(hi - lo + 1);
+    for (std::uint32_t j = lo; j <= hi; ++j) bucket.push_back({j, 1});
+  }
+  return s;
+}
+
+bool dc_obvious_collision(const Params& params, std::uint32_t rank_u,
+                          const DcState& u, std::uint32_t rank_v,
+                          const DcState& v) {
+  if (rank_u == rank_v) return true;
+  const std::uint32_t m = params.group_size(params.group_of(rank_u));
+  // Two copies of the same circulating message (same governing rank, same
+  // ID) held by u and v simultaneously.
+  for (std::uint32_t k = 0; k < m; ++k) {
+    if (k >= u.msgs.size() || k >= v.msgs.size()) break;
+    const auto& a = u.msgs[k];
+    const auto& b = v.msgs[k];
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i].id == b[j].id) return true;
+      if (a[i].id < b[j].id) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  return false;
+}
+
+void check_message_consistency(const Params& params, std::uint32_t rank_u,
+                               DcState& u, DcState& v) {
+  const std::uint32_t k = bucket_of(params, rank_u);
+  if (k >= v.msgs.size()) return;
+  for (const Msg& msg : v.msgs[k]) {
+    const std::uint32_t j = msg.id - 1;
+    if (j < u.observations.size() && msg.content != u.observations[j]) {
+      u.error = true;
+      v.error = true;
+      return;
+    }
+  }
+}
+
+void update_messages(const Params& params, std::uint32_t rank_u, DcState& u,
+                     DcState& v, util::Rng& rng) {
+  const std::uint32_t group = params.group_of(rank_u);
+  const std::uint32_t k = bucket_of(params, rank_u);
+
+  // Protocol 13 lines 1–8: refresh the signature every c_sig·log m of u's
+  // own interactions and restamp u's held copies of its own messages.
+  ++u.counter;
+  if (u.counter >= params.signature_period(group)) {
+    u.signature = static_cast<std::uint32_t>(
+        1 + rng.below(params.signature_space(group)));
+    u.counter = 1;
+    if (k < u.msgs.size()) {
+      for (Msg& msg : u.msgs[k]) {
+        msg.content = u.signature;
+        const std::uint32_t j = msg.id - 1;
+        if (j < u.observations.size()) u.observations[j] = u.signature;
+      }
+    }
+  }
+
+  // Protocol 13 lines 9–12: restamp v's messages governed by u's rank with
+  // u's current signature, recording the new contents in u's observations.
+  if (k < v.msgs.size()) {
+    for (Msg& msg : v.msgs[k]) {
+      msg.content = u.signature;
+      const std::uint32_t j = msg.id - 1;
+      if (j < u.observations.size()) u.observations[j] = u.signature;
+    }
+  }
+}
+
+void balance_load(const Params& params, std::uint32_t rank_u, DcState& u,
+                  DcState& v) {
+  const std::uint32_t m = params.group_size(params.group_of(rank_u));
+  std::uint64_t u_total = 0;
+  std::uint64_t v_total = 0;
+
+  // Processed per rank of the group; inside a rank, runs of equal content
+  // in the ID-sorted merged list form the (rank, content) classes of
+  // Protocol 14, which are split ⌈·/2⌉ / ⌊·/2⌋ between the two agents,
+  // the ceiling going to the currently lighter agent.
+  std::vector<Msg> merged;
+  for (std::uint32_t k = 0; k < m; ++k) {
+    if (k >= u.msgs.size() || k >= v.msgs.size()) break;
+    auto& a = u.msgs[k];
+    auto& b = v.msgs[k];
+    if (a.empty() && b.empty()) continue;
+
+    merged.clear();
+    merged.reserve(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(merged));
+    a.clear();
+    b.clear();
+
+    // Group by content.  The merged list is sorted by ID; we bucket the
+    // class members by content while preserving ID order within a class.
+    // Classes are processed in order of first appearance (deterministic).
+    std::vector<std::pair<std::uint32_t, std::vector<Msg>>> classes;
+    for (const Msg& msg : merged) {
+      auto it = std::find_if(classes.begin(), classes.end(),
+                             [&](const auto& c) { return c.first == msg.content; });
+      if (it == classes.end()) {
+        classes.push_back({msg.content, {msg}});
+      } else {
+        it->second.push_back(msg);
+      }
+    }
+
+    for (auto& [content, members] : classes) {
+      const std::size_t ceil_half = (members.size() + 1) / 2;
+      // "one agent receives the first half and the other the second half";
+      // the larger share goes to whichever agent currently holds fewer
+      // messages (keeps per-agent totals balanced, cf. §3.1).
+      auto& first = (u_total <= v_total) ? a : b;
+      auto& second = (u_total <= v_total) ? b : a;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        ((i < ceil_half) ? first : second).push_back(members[i]);
+      }
+      if (u_total <= v_total) {
+        u_total += ceil_half;
+        v_total += members.size() - ceil_half;
+      } else {
+        v_total += ceil_half;
+        u_total += members.size() - ceil_half;
+      }
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+  }
+}
+
+std::uint64_t dc_message_count(const DcState& u) {
+  std::uint64_t total = 0;
+  for (const auto& bucket : u.msgs) total += bucket.size();
+  return total;
+}
+
+void detect_collision(const Params& params, std::uint32_t rank_u, DcState& u,
+                      std::uint32_t rank_v, DcState& v, util::Rng& rng) {
+  // Protocol 3 line 1–2: only same-group agents interact non-trivially.
+  if (params.group_of(rank_u) != params.group_of(rank_v)) return;
+  if (u.error || v.error) {
+    // ⊤ is absorbing within DetectCollision; the StableVerify wrapper is
+    // responsible for reacting to it (Protocol 2 lines 5–8).
+    u.error = v.error = true;
+    return;
+  }
+
+  // Lines 3–4: obvious collision — shared rank or duplicated message.
+  if (dc_obvious_collision(params, rank_u, u, rank_v, v)) {
+    u.error = v.error = true;
+    return;
+  }
+
+  // Line 5: mutual consistency checks (may raise ⊤).
+  check_message_consistency(params, rank_u, u, v);
+  check_message_consistency(params, rank_v, v, u);
+  if (u.error || v.error) {
+    u.error = v.error = true;
+    return;
+  }
+
+  // Lines 6–7: restamp + spread.
+  update_messages(params, rank_u, u, v, rng);
+  update_messages(params, rank_v, v, u, rng);
+  if (params.load_balancing_enabled) {
+    balance_load(params, rank_u, u, v);
+  }
+}
+
+}  // namespace ssle::core

@@ -1,0 +1,49 @@
+// ElectLeader_r — the paper's main protocol (§4, Protocol 1).
+//
+// A thin wrapper dispatching on the role field:
+//   Resetting → PropagateReset (App. C),
+//   Ranking   → AssignRanks_r (App. D) + countdown management,
+//   Verifying → StableVerify_r (§5).
+// The leader is the agent with rank 1 (§3: "taking the agent with rank 1
+// to be the leader").
+//
+// Satisfies the pp::Protocol concept; the clean initial configuration is
+// the dormant/awakening one (all agents freshly Reset), matching the
+// starting point of Lemma 6.2.
+#pragma once
+
+#include <cstdint>
+
+#include "core/agent.hpp"
+#include "core/params.hpp"
+#include "util/rng.hpp"
+
+namespace ssle::core {
+
+class ElectLeader {
+ public:
+  using State = Agent;
+
+  explicit ElectLeader(Params params) : params_(std::move(params)) {}
+
+  std::uint32_t population_size() const { return params_.n; }
+  const Params& params() const { return params_; }
+
+  /// Clean start: a freshly reset ranker (role Ranking, qAR = q0,AR,
+  /// countdown = C_max) — the awakening configuration of App. C.
+  State initial_state(std::uint32_t agent) const;
+
+  /// Protocol 1.
+  void interact(State& u, State& v, util::Rng& rng) const;
+
+  // --- Output map ----------------------------------------------------------
+  /// True iff the agent is currently marked as the leader.
+  static bool is_leader(const State& a) {
+    return a.role == Role::kVerifying && a.rank == 1;
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace ssle::core

@@ -1,0 +1,42 @@
+#include "core/fast_leader_elect.hpp"
+
+#include <algorithm>
+
+namespace ssle::core {
+
+FastLeState fle_initial_state() { return FastLeState{}; }
+
+void fle_activate(const Params& params, FastLeState& s, util::Rng& rng) {
+  if (s.drawn) return;
+  s.drawn = true;
+  s.identifier = 1 + rng.below(params.identifier_space);
+  s.min_identifier = s.identifier;
+  s.le_count = params.le_count_max;
+}
+
+namespace {
+
+void fle_finish_if_due(FastLeState& s) {
+  if (s.leader_done || s.le_count > 0) return;
+  s.leader_done = true;
+  s.leader_bit = (s.identifier == s.min_identifier);
+}
+
+}  // namespace
+
+void fle_interact(const Params& params, FastLeState& u, FastLeState& v,
+                  util::Rng& rng) {
+  fle_activate(params, u, rng);
+  fle_activate(params, v, rng);
+
+  const std::uint64_t min_id = std::min(u.min_identifier, v.min_identifier);
+  u.min_identifier = min_id;
+  v.min_identifier = min_id;
+
+  for (FastLeState* s : {&u, &v}) {
+    if (!s->leader_done && s->le_count > 0) --s->le_count;
+    fle_finish_if_due(*s);
+  }
+}
+
+}  // namespace ssle::core

@@ -1,0 +1,31 @@
+// FastLeaderElect (App. D.2, Fig. 4, Lemma D.10): a simple non-self-
+// stabilizing leader election started from an awakening configuration.
+//
+// On its first activation an agent draws an identifier (almost) u.a.r.
+// from [n³]; the minimum identifier spreads by a two-way epidemic; each
+// agent counts down c·log n of its own interactions (c > 14) and, when the
+// countdown expires, declares itself leader iff its own identifier equals
+// the minimum it has seen.
+#pragma once
+
+#include "core/agent.hpp"
+#include "core/params.hpp"
+#include "util/rng.hpp"
+
+namespace ssle::core {
+
+/// The pre-draw initial FastLeaderElect state.
+FastLeState fle_initial_state();
+
+/// Ensures the agent has drawn its identifier (first activation).
+void fle_activate(const Params& params, FastLeState& s, util::Rng& rng);
+
+/// One interaction between two agents that are both in leader election:
+/// draw-if-needed, min-merge, countdown, and decide on expiry.
+void fle_interact(const Params& params, FastLeState& u, FastLeState& v,
+                  util::Rng& rng);
+
+/// True when the protocol has finished for this agent.
+inline bool fle_done(const FastLeState& s) { return s.leader_done; }
+
+}  // namespace ssle::core

@@ -1,0 +1,111 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssle::core {
+
+std::uint32_t Params::log2ceil(std::uint64_t x) {
+  std::uint32_t l = 0;
+  std::uint64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+    ++l;
+  }
+  return l + 1;
+}
+
+Params Params::make(std::uint32_t n, std::uint32_t r,
+                    MessageMultiplicity mult) {
+  assert(n >= 2);
+  Params p;
+  p.n = n;
+  p.r = std::max<std::uint32_t>(1, std::min(r, n / 2));
+  p.multiplicity = mult;
+
+  const std::uint32_t L = log2ceil(n);           // "log n"
+  const std::uint32_t nr = (n + p.r - 1) / p.r;  // ceil(n/r)
+
+  // PropagateReset: R_max = Θ(log n), D_max = Ω(log n + R_max)  (Cor. C.3).
+  p.reset_count_max = 8 * L;
+  p.delay_timer_max = p.reset_count_max + 8 * L;
+
+  // Countdown C_max = Θ((n/r)·log n), large enough that AssignRanks becomes
+  // silent long before it expires w.h.p. (Lemma 6.2 proof).
+  p.countdown_max = 24 * nr * L;
+
+  // Probation P_max = c_prob·(n/r)·log n (§5 state space).
+  p.probation_max = 24 * nr * L;
+
+  // AssignRanks: deputy pools of c·n/r labels with c = 2 (App. D), the
+  // FastLeaderElect countdown (c > 14 in Lemma D.10's proof; we use 16·L),
+  // sleeper timer c_sleep·log n, and identifiers from [n³].
+  p.label_pool = std::max<std::uint32_t>(2, (2 * n + p.r - 1) / p.r);
+  p.le_count_max = 16 * L;
+  p.sleep_max = 16 * L;
+  p.identifier_space = static_cast<std::uint64_t>(n) * n * n;
+
+  p.signature_refresh = 8;  // c_sig: period = c_sig·log2ceil(m) interactions
+
+  // Group partition: contiguous blocks with near-equal sizes.  num_groups =
+  // max(1, floor(n/r)) gives sizes in [r, 2r); using ceil-split sizes differ
+  // by at most 1 and all lie in [r/2, 2r] for 1 ≤ r ≤ n/2.
+  p.num_groups_ = std::max<std::uint32_t>(1, n / p.r);
+  p.base_size_ = n / p.num_groups_;
+  p.num_large_ = n % p.num_groups_;
+  return p;
+}
+
+std::uint32_t Params::group_of(std::uint32_t rank) const {
+  assert(rank >= 1 && rank <= n);
+  const std::uint32_t idx = rank - 1;
+  const std::uint32_t large_span = num_large_ * (base_size_ + 1);
+  if (idx < large_span) return idx / (base_size_ + 1);
+  return num_large_ + (idx - large_span) / base_size_;
+}
+
+std::uint32_t Params::group_begin(std::uint32_t group) const {
+  assert(group < num_groups_);
+  if (group <= num_large_) {
+    return group * (base_size_ + 1) + 1;
+  }
+  return num_large_ * (base_size_ + 1) +
+         (group - num_large_) * base_size_ + 1;
+}
+
+std::uint32_t Params::group_size(std::uint32_t group) const {
+  assert(group < num_groups_);
+  return group < num_large_ ? base_size_ + 1 : base_size_;
+}
+
+std::uint32_t Params::rank_in_group(std::uint32_t rank) const {
+  return rank - group_begin(group_of(rank)) + 1;
+}
+
+std::uint32_t Params::ids_per_rank(std::uint32_t group) const {
+  const std::uint32_t m = group_size(group);
+  switch (multiplicity) {
+    case MessageMultiplicity::kFaithful:
+      return std::max<std::uint32_t>(2, 2 * m * m);
+    case MessageMultiplicity::kLight:
+      return std::max<std::uint32_t>(2, 4 * m);
+  }
+  return 2 * m * m;
+}
+
+std::uint64_t Params::signature_space(std::uint32_t group) const {
+  const auto m = static_cast<std::uint64_t>(group_size(group));
+  // [m^5] as in Fig. 3; floored at 2^20 so tiny groups still have collision
+  // probability o(1) per draw (the paper's bound needs only poly(m) space),
+  // and capped at 2^32−1 because message contents are stored as uint32.
+  std::uint64_t s = m * m * m * m * m;
+  s = std::max<std::uint64_t>(s, 1ull << 20);
+  return std::min<std::uint64_t>(s, 0xFFFFFFFFull);
+}
+
+std::uint32_t Params::signature_period(std::uint32_t group) const {
+  return std::max<std::uint32_t>(2,
+                                 signature_refresh * log2ceil(group_size(group)));
+}
+
+}  // namespace ssle::core

@@ -1,0 +1,94 @@
+// Parameters of ElectLeader_r (paper §4, Fig. 1) and all tunable constants.
+//
+// The protocol is strongly non-uniform: n and r are encoded in the
+// transition function (Cai–Izumi–Wada show this is necessary for
+// self-stabilizing leader election).  Every Θ(·) constant in the paper is
+// exposed here; defaults are calibrated so the w.h.p. events hold at
+// simulable population sizes (validated by the test suite and
+// bench_f*_... experiments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssle::core {
+
+/// How many messages each rank governs inside its group (paper §3.1).
+enum class MessageMultiplicity {
+  /// Faithful to the paper: a rank in a group of size m governs 2·m²
+  /// messages, so every group member holds ~2m messages of each rank.
+  kFaithful,
+  /// Scaled-down: 4·m messages per rank (each member holds ~4).  Same
+  /// mechanism and invariants; detection latency grows, memory shrinks.
+  /// Used for large-n sweeps; benches label the mode used.
+  kLight,
+};
+
+struct Params {
+  std::uint32_t n = 0;  ///< population size (also the rank space [n])
+  std::uint32_t r = 1;  ///< trade-off parameter, 1 ≤ r ≤ n/2 (paper Thm 1.1)
+
+  // --- PropagateReset (App. C) -------------------------------------------
+  std::uint32_t reset_count_max = 0;  ///< R_max = Θ(log n)
+  std::uint32_t delay_timer_max = 0;  ///< D_max = Θ(log n), ≥ R_max + Ω(log n)
+
+  // --- ElectLeader wrapper (§4) ------------------------------------------
+  std::uint32_t countdown_max = 0;  ///< C_max = Θ((n/r)·log n)
+
+  // --- StableVerify (§5) --------------------------------------------------
+  std::uint32_t probation_max = 0;  ///< P_max = c_prob·(n/r)·log n
+  static constexpr std::uint32_t kGenerations = 6;  ///< generations in Z₆
+
+  // --- AssignRanks (App. D) ------------------------------------------------
+  std::uint32_t label_pool = 0;      ///< c·n/r labels per deputy, c > 1
+  std::uint32_t le_count_max = 0;    ///< FastLeaderElect countdown Θ(log n)
+  std::uint32_t sleep_max = 0;       ///< c_sleep·log n sleeper timer
+  std::uint64_t identifier_space = 0;  ///< [n³] identifiers (App. D.2)
+
+  // --- DetectCollision (§5.1) ----------------------------------------------
+  MessageMultiplicity multiplicity = MessageMultiplicity::kFaithful;
+  std::uint32_t signature_refresh = 0;  ///< resample every c_sig·log m
+                                        ///< own-interactions
+
+  // --- Ablation knobs (bench_a1; defaults are the paper's design) ----------
+  /// When false, every detected ⊤ triggers a full reset (disables the §3.2
+  /// soft-reset/probation mechanism).
+  bool soft_reset_enabled = true;
+  /// When false, BalanceLoad is skipped and messages only move by
+  /// re-stamping (disables the §3.1 spreading mechanism).
+  bool load_balancing_enabled = true;
+
+  /// Builds a parameter set with calibrated default constants.
+  static Params make(std::uint32_t n, std::uint32_t r,
+                     MessageMultiplicity mult = MessageMultiplicity::kFaithful);
+
+  // --- Group partition (§3.3) ----------------------------------------------
+  // [n] is partitioned into num_groups contiguous blocks whose sizes differ
+  // by at most one and lie in [r/2, 2r] whenever 1 ≤ r ≤ n/2.
+  std::uint32_t num_groups() const { return num_groups_; }
+  /// Group index of a rank in [1, n].
+  std::uint32_t group_of(std::uint32_t rank) const;
+  /// First rank (1-based, inclusive) of a group.
+  std::uint32_t group_begin(std::uint32_t group) const;
+  /// Size m of a group.
+  std::uint32_t group_size(std::uint32_t group) const;
+  /// Position of a rank within its group, in [1, m]  (rank_r of §5.1).
+  std::uint32_t rank_in_group(std::uint32_t rank) const;
+
+  /// Messages governed by one rank in a group of size m (the ID space).
+  std::uint32_t ids_per_rank(std::uint32_t group) const;
+  /// Signature space [m^5] capped to keep values in 64 bits.
+  std::uint64_t signature_space(std::uint32_t group) const;
+  /// Signature refresh period for a group of size m: c_sig·ceil(log2 m + 1).
+  std::uint32_t signature_period(std::uint32_t group) const;
+
+  /// ceil(log2(x)) + 1 — the "log n" used for all timer defaults.
+  static std::uint32_t log2ceil(std::uint64_t x);
+
+ private:
+  std::uint32_t num_groups_ = 1;
+  std::uint32_t base_size_ = 0;   ///< size of the small groups
+  std::uint32_t num_large_ = 0;   ///< first num_large_ groups have size+1
+};
+
+}  // namespace ssle::core

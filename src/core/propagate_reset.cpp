@@ -1,0 +1,75 @@
+#include "core/propagate_reset.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/assign_ranks.hpp"
+
+namespace ssle::core {
+
+void trigger_reset(const Params& params, Agent& u) {
+  u.role = Role::kResetting;
+  u.reset.reset_count = params.reset_count_max;
+  u.reset.delay_timer = params.delay_timer_max;
+  // Newly inactive fields are cleared at the end of the interaction (§4);
+  // we clear them eagerly, which is observationally equivalent.
+  u.ar = ArState{};
+  u.sv = SvState{};
+}
+
+void reset_agent(const Params& params, Agent& u) {
+  u.role = Role::kRanking;
+  u.ar = ar_initial_state(params);
+  u.countdown = params.countdown_max;
+  u.rank = 1;
+  u.reset = ResetState{};
+  u.sv = SvState{};
+}
+
+void propagate_reset(const Params& params, Agent& u, Agent& v) {
+  // Protocol 4 lines 1–2: infect a computing partner.
+  if (u.reset.reset_count > 0 && v.role != Role::kResetting) {
+    v.role = Role::kResetting;
+    v.reset.reset_count = 0;
+    v.reset.delay_timer = params.delay_timer_max;
+    v.ar = ArState{};
+    v.sv = SvState{};
+  }
+
+  // Lines 3–4: resetCount max-merges (minus one) between two resetters.
+  if (v.role == Role::kResetting) {
+    const std::uint32_t merged =
+        std::max({u.reset.reset_count > 0 ? u.reset.reset_count - 1 : 0,
+                  v.reset.reset_count > 0 ? v.reset.reset_count - 1 : 0});
+    const bool u_was_positive = u.reset.reset_count > 0;
+    const bool v_was_positive = v.reset.reset_count > 0;
+    u.reset.reset_count = merged;
+    v.reset.reset_count = merged;
+
+    // Lines 5–11 for both agents.
+    for (auto [self, other, was_positive] :
+         {std::tuple<Agent*, Agent*, bool>{&u, &v, u_was_positive},
+          std::tuple<Agent*, Agent*, bool>{&v, &u, v_was_positive}}) {
+      if (self->role != Role::kResetting || self->reset.reset_count != 0) {
+        continue;
+      }
+      if (was_positive) {
+        // "resetCount just became 0": arm the delay timer.
+        self->reset.delay_timer = params.delay_timer_max;
+      } else if (self->reset.delay_timer > 0) {
+        --self->reset.delay_timer;
+      }
+      if (self->reset.delay_timer == 0 || other->role != Role::kResetting) {
+        reset_agent(params, *self);
+      }
+    }
+  } else {
+    // u is dormant (resetCount == 0) and met a computing agent: wake up
+    // (Protocol 4 line 10, "j.role ≠ Resetting").
+    if (u.reset.reset_count == 0) {
+      reset_agent(params, u);
+    }
+  }
+}
+
+}  // namespace ssle::core

@@ -1,0 +1,35 @@
+// PropagateReset — the epidemic hard-reset mechanism of Burman et al.
+// (paper App. C, Protocols 4–6, Lemma C.1 / Theorem C.2 / Corollary C.3).
+//
+// A triggered agent carries resetCount = R_max and infects computing
+// agents; counts max-merge and decrement, so within O(n log n)
+// interactions the population is *fully dormant* (all resetting,
+// resetCount = 0, delayTimer armed).  Dormant agents count delayTimer
+// down and then *awaken* via Reset(·) into the Ranking role; computing
+// agents also wake dormant agents on contact.
+#pragma once
+
+#include "core/agent.hpp"
+#include "core/params.hpp"
+
+namespace ssle::core {
+
+/// Protocol 5: TriggerReset(u) — u becomes a triggered resetter.
+void trigger_reset(const Params& params, Agent& u);
+
+/// Protocol 6: Reset(u) — (re-)initializes u as a clean ranker
+/// (role = Ranking, qAR = q0,AR, countdown = C_max).
+void reset_agent(const Params& params, Agent& u);
+
+/// Protocol 4: one PropagateReset interaction; requires u.role == Resetting.
+void propagate_reset(const Params& params, Agent& u, Agent& v);
+
+/// True iff the agent is dormant: resetting with resetCount = 0.
+inline bool is_dormant(const Agent& a) {
+  return a.role == Role::kResetting && a.reset.reset_count == 0;
+}
+
+/// True iff the agent is computing (not resetting).
+inline bool is_computing(const Agent& a) { return a.role != Role::kResetting; }
+
+}  // namespace ssle::core

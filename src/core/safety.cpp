@@ -1,0 +1,73 @@
+#include "core/safety.hpp"
+
+#include <vector>
+
+namespace ssle::core {
+
+std::uint32_t leader_count(const std::vector<Agent>& config) {
+  std::uint32_t count = 0;
+  for (const Agent& a : config) {
+    if (a.role == Role::kVerifying && a.rank == 1) ++count;
+  }
+  return count;
+}
+
+bool ranking_correct(const Params& params, const std::vector<Agent>& config) {
+  if (config.size() != params.n) return false;
+  std::vector<bool> seen(params.n + 1, false);
+  for (const Agent& a : config) {
+    if (a.role != Role::kVerifying) return false;
+    if (a.rank < 1 || a.rank > params.n || seen[a.rank]) return false;
+    seen[a.rank] = true;
+  }
+  return true;
+}
+
+bool single_generation(const std::vector<Agent>& config) {
+  for (const Agent& a : config) {
+    if (a.role != Role::kVerifying) return false;
+    if (a.sv.generation != config.front().sv.generation) return false;
+  }
+  return true;
+}
+
+bool message_system_consistent(const Params& params,
+                               const std::vector<Agent>& config) {
+  // observations_by_rank[rank] = pointer to the observations of the (unique)
+  // agent with that rank; requires a correct ranking to be meaningful.
+  std::vector<const std::vector<std::uint32_t>*> obs(params.n + 1, nullptr);
+  for (const Agent& a : config) {
+    if (a.role != Role::kVerifying || a.sv.dc.error) return false;
+    if (a.rank >= 1 && a.rank <= params.n) obs[a.rank] = &a.sv.dc.observations;
+  }
+
+  // seen[(rank-1)] = bitmap of message IDs already encountered.
+  std::vector<std::vector<bool>> seen(params.n);
+  for (const Agent& a : config) {
+    const std::uint32_t group = params.group_of(a.rank);
+    const std::uint32_t begin = params.group_begin(group);
+    for (std::size_t k = 0; k < a.sv.dc.msgs.size(); ++k) {
+      const std::uint32_t rank = begin + static_cast<std::uint32_t>(k);
+      if (rank > params.n) return false;
+      auto& bitmap = seen[rank - 1];
+      if (bitmap.empty()) bitmap.assign(params.ids_per_rank(group) + 1, false);
+      for (const Msg& msg : a.sv.dc.msgs[k]) {
+        if (msg.id == 0 || msg.id >= bitmap.size()) return false;
+        if (bitmap[msg.id]) return false;  // duplicated circulating message
+        bitmap[msg.id] = true;
+        const auto* governor = obs[rank];
+        if (governor == nullptr || msg.id > governor->size()) return false;
+        if ((*governor)[msg.id - 1] != msg.content) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_safe_configuration(const Params& params,
+                           const std::vector<Agent>& config) {
+  return ranking_correct(params, config) && single_generation(config) &&
+         message_system_consistent(params, config);
+}
+
+}  // namespace ssle::core

@@ -1,0 +1,80 @@
+#include "core/state_size.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssle::core {
+
+namespace {
+
+double log2d(double x) { return x > 1.0 ? std::log2(x) : 0.0; }
+
+/// Index of the largest group (group 0 by construction).
+constexpr std::uint32_t kLargestGroup = 0;
+
+}  // namespace
+
+double bits_propagate_reset(const Params& params) {
+  return log2d(params.reset_count_max + 1.0) +
+         log2d(params.delay_timer_max + 1.0);
+}
+
+double bits_fast_leader_elect(const Params& params) {
+  const double id_space = static_cast<double>(params.identifier_space);
+  return 2.0 * log2d(id_space) + log2d(params.le_count_max + 1.0) + 2.0;
+}
+
+double bits_assign_ranks(const Params& params) {
+  const double pool = params.label_pool + 1.0;
+  // Per-type unique fields; the state space is the disjoint union, so its
+  // bit complexity is ~ bits of the largest type.
+  const double sheriff = 2.0 * log2d(params.r + 1.0);
+  const double deputy = log2d(params.r + 1.0) + log2d(pool);
+  const double recipient = log2d(params.r + 1.0) + log2d(pool);  // label
+  const double sleeper = recipient + log2d(params.sleep_max + 1.0);
+  const double channel = static_cast<double>(params.r) * log2d(pool);
+  const double biggest =
+      std::max({bits_fast_leader_elect(params), sheriff, deputy, sleeper});
+  return biggest + channel + log2d(params.n + 1.0);  // + rank
+}
+
+double bits_detect_collision(const Params& params) {
+  const double m = params.group_size(kLargestGroup);
+  const double ids = params.ids_per_rank(kLargestGroup);
+  const double sig_space =
+      static_cast<double>(params.signature_space(kLargestGroup));
+  const double signature = log2d(sig_space);
+  const double counter = log2d(params.signature_period(kLargestGroup) + 1.0);
+  // msgs: Fig. 3 counts (2r⁸)^(2r²) — one slot per *held* message (an agent
+  // holds ids_per_rank = 2m² messages: a slice of ids/m for each of the m
+  // ranks), each slot encoding (rank, ID, content) ∈ [m · ids · sig_space].
+  const double slot = log2d(m * ids) + log2d(sig_space + 1.0);
+  const double msgs = ids * slot;
+  const double observations = ids * log2d(sig_space);
+  return signature + counter + msgs + observations;
+}
+
+double bits_stable_verify(const Params& params) {
+  return log2d(Params::kGenerations) + log2d(params.probation_max + 1.0) +
+         bits_detect_collision(params);
+}
+
+double bits_elect_leader(const Params& params) {
+  const double role = 2.0;
+  const double resetting = bits_propagate_reset(params) +
+                           log2d(params.countdown_max + 1.0);
+  const double ranking = bits_assign_ranks(params) +
+                         log2d(params.countdown_max + 1.0);
+  const double verifying = bits_stable_verify(params) +
+                           log2d(params.n + 1.0);
+  return role + std::max({resetting, ranking, verifying});
+}
+
+double bits_ssr_baseline(std::uint32_t n) {
+  const double name_space = 3.0 * log2d(n);       // a name in [n³]
+  return name_space + static_cast<double>(n) * name_space;  // own + set
+}
+
+double bits_ciw(std::uint32_t n) { return log2d(n); }
+
+}  // namespace ssle::core

@@ -1,0 +1,49 @@
+// State-space accounting (paper Fig. 1, Fig. 2, Fig. 3).
+//
+// The paper's headline space bound is the *bit complexity*: the logarithm
+// of the number of states.  These functions evaluate the exact bit count
+// of each sub-state-space for concrete (n, r), so the trade-off curves
+// (experiment F6) can plot measured formulas rather than asymptotics:
+//   ElectLeader_r : O(r² log n) bits  — dominated by DetectCollision's
+//                   msgs/observations arrays,
+//   SSR baseline  : Θ(n log n) bits   — the stored set of names,
+//   CIW           : log2(n) bits.
+#pragma once
+
+#include "core/params.hpp"
+
+namespace ssle::core {
+
+/// Bits for PropagateReset's fields (resetCount × delayTimer).
+double bits_propagate_reset(const Params& params);
+
+/// Bits for FastLeaderElect (Fig. 4): Identifier × MinIdentifier × LECount
+/// × LeaderDone × LeaderBit.
+double bits_fast_leader_elect(const Params& params);
+
+/// Bits for AssignRanks_r (App. D state list): the per-type maximum over
+/// sheriff/deputy/recipient/sleeper fields plus the r-entry channel.
+double bits_assign_ranks(const Params& params);
+
+/// Bits for DetectCollision_r (Fig. 3), for the largest group: signature ×
+/// counter × msgs ((2r⁸)^(2r²): 2m² held-message slots, each encoding a
+/// (rank, ID, content) triple) × observations ((r⁷)^(2r²) ≈ 2m² cells of
+/// [m⁵]).  Overall 2^{O(r² log r)} as in Fig. 3's caption.
+double bits_detect_collision(const Params& params);
+
+/// Bits for StableVerify_r (Fig. 2): Z₆ × probation × DetectCollision.
+double bits_stable_verify(const Params& params);
+
+/// Total bit complexity of ElectLeader_r (Fig. 1: disjoint union of roles;
+/// the size is the sum of the role state spaces, so the bit complexity is
+/// ~ the max role plus wrapper fields).
+double bits_elect_leader(const Params& params);
+
+/// Bit complexity of the silent-SSR name-broadcast baseline at size n:
+/// a name in [n³] plus a subset of up to n names (Θ(n log n) bits).
+double bits_ssr_baseline(std::uint32_t n);
+
+/// Bit complexity of Cai–Izumi–Wada at size n: one rank, log2(n) bits.
+double bits_ciw(std::uint32_t n);
+
+}  // namespace ssle::core

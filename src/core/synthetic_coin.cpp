@@ -1,0 +1,35 @@
+#include "core/synthetic_coin.hpp"
+
+#include <algorithm>
+
+namespace ssle::core {
+
+SyntheticCoin::SyntheticCoin(std::uint64_t value_space)
+    : value_space_(std::max<std::uint64_t>(2, value_space)) {
+  bits_ = 0;
+  std::uint64_t p = 1;
+  while (p < value_space_) {
+    p <<= 1;
+    ++bits_;
+  }
+  bits_ = std::max<std::uint32_t>(1, bits_);
+  buffer_.assign(bits_, false);
+}
+
+void SyntheticCoin::observe(bool partner_coin) {
+  coin_ = !coin_;  // Eq. (4): Coin ← 1 − Coin
+  buffer_[cursor_] = partner_coin;                  // Eq. (6)–(7)
+  cursor_ = (cursor_ + 1) % bits_;                  // Eq. (5)
+  fresh_bits_ = std::min(fresh_bits_ + 1, bits_);
+}
+
+std::uint64_t SyntheticCoin::sample() {
+  std::uint64_t x = 0;
+  for (std::uint32_t i = 0; i < bits_; ++i) {
+    x = (x << 1) | static_cast<std::uint64_t>(buffer_[i]);
+  }
+  fresh_bits_ = 0;
+  return 1 + (x % value_space_);
+}
+
+}  // namespace ssle::core

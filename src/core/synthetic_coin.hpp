@@ -1,0 +1,54 @@
+// Derandomization of the transition function (paper App. B, Lemma B.1).
+//
+// Population-protocol transition functions are deterministic; the only
+// randomness is the scheduler.  Each agent keeps
+//   * Coin ∈ {0,1}  — flipped to its complement on every interaction,
+//   * Coins[log N]  — a ring buffer of the partner coins observed in the
+//     last log N interactions,
+//   * CoinCount ∈ Z_{log N} — the ring-buffer cursor.
+// After log N activations the buffer holds log N fresh partner-coin bits;
+// Berenbrink–Friedetzky–Kaaser–Kling show the coin population stays within
+// (1/2 ± 1/(10 log N))·n of balance w.h.p., so the assembled value x ∈ [N]
+// satisfies P[x = v] ∈ [1/(2N), 2/N] — exactly the paper's "almost u.a.r."
+// requirement from §1.1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ssle::core {
+
+class SyntheticCoin {
+ public:
+  /// `value_space` is N: samples are assembled from ceil(log2 N) bits.
+  explicit SyntheticCoin(std::uint64_t value_space);
+
+  /// The agent's own alternating coin, to be shown to partners.
+  bool coin() const { return coin_; }
+
+  /// One interaction: flip own coin, record the partner's shown coin.
+  void observe(bool partner_coin);
+
+  /// True once the ring buffer has been fully refreshed since the last
+  /// sample was taken (Lemma B.1 property 2).
+  bool ready() const { return fresh_bits_ >= bits_; }
+
+  /// Assembles the buffered bits into a value in [1, N] (rejection-free:
+  /// the bit pattern is folded modulo N, preserving near-uniformity up to
+  /// the factor-2 slack the paper allows).  Marks the buffer stale.
+  std::uint64_t sample();
+
+  std::uint32_t bits() const { return bits_; }
+
+ private:
+  std::uint64_t value_space_;
+  std::uint32_t bits_;
+  bool coin_ = false;
+  std::vector<bool> buffer_;
+  std::uint32_t cursor_ = 0;      ///< CoinCount
+  std::uint32_t fresh_bits_ = 0;  ///< bits recorded since last sample()
+};
+
+}  // namespace ssle::core

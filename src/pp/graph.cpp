@@ -1,0 +1,112 @@
+#include "pp/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ssle::pp {
+
+void Graph::add_edge(std::uint32_t a, std::uint32_t b) {
+  if (a == b || a >= n_ || b >= n_ || has_edge(a, b)) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  edge_list_.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+bool Graph::has_edge(std::uint32_t a, std::uint32_t b) const {
+  if (a >= n_ || b >= n_) return false;
+  const auto& adj = adjacency_[a];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+bool Graph::is_connected() const {
+  if (n_ == 0) return true;
+  std::vector<char> seen(n_, 0);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = 1;
+  std::uint32_t visited = 1;
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t w : adjacency_[v]) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == n_;
+}
+
+std::uint32_t Graph::min_degree() const {
+  std::uint32_t d = ~0u;
+  for (std::uint32_t v = 0; v < n_; ++v) d = std::min(d, degree(v));
+  return n_ == 0 ? 0 : d;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t d = 0;
+  for (std::uint32_t v = 0; v < n_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+Graph Graph::complete(std::uint32_t n) {
+  Graph g(n);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph Graph::cycle(std::uint32_t n) {
+  Graph g(n);
+  for (std::uint32_t v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph Graph::path(std::uint32_t n) {
+  Graph g(n);
+  for (std::uint32_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph Graph::star(std::uint32_t n) {
+  Graph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph Graph::random_regular(std::uint32_t n, std::uint32_t d,
+                            util::Rng& rng) {
+  Graph g(n);
+  // d/2 superposed random Hamilton cycles → connected, near-d-regular.
+  const std::uint32_t cycles = std::max(1u, d / 2);
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::uint32_t c = 0; c < cycles; ++c) {
+    for (std::uint32_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      g.add_edge(perm[i], perm[(i + 1) % n]);
+    }
+  }
+  return g;
+}
+
+Graph Graph::erdos_renyi(std::uint32_t n, double p, util::Rng& rng) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Graph g(n);
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        if (rng.real() < p) g.add_edge(a, b);
+      }
+    }
+    if (g.is_connected()) return g;
+  }
+  // Sparse p on a tiny n may never connect; fall back to a cycle so the
+  // caller always gets a usable graph.
+  return cycle(n);
+}
+
+}  // namespace ssle::pp

@@ -1,0 +1,87 @@
+// Communication graphs for graphical population protocols.
+//
+// The classical model interacts uniformly random pairs (the complete
+// graph).  Related work transfers population protocols to anonymous
+// networks G = (V, E) where only endpoints of an edge may interact, with
+// runtimes depending on graph properties such as conductance (paper §2,
+// Alistarh–Gelashvili–Rybicki; Kowalski–Mosteiro).  This module provides
+// standard graph families and a scheduler drawing uniformly random edges,
+// so the experiments can probe how ElectLeader_r degrades away from the
+// complete graph (experiment E1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ssle::pp {
+
+/// Simple undirected graph on vertices {0, ..., n-1} stored as an edge
+/// list (for uniform edge sampling) plus adjacency (for analysis).
+class Graph {
+ public:
+  explicit Graph(std::uint32_t n) : n_(n), adjacency_(n) {}
+
+  std::uint32_t vertices() const { return n_; }
+  std::uint64_t edges() const { return edge_list_.size(); }
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edge_list()
+      const {
+    return edge_list_;
+  }
+  const std::vector<std::uint32_t>& neighbors(std::uint32_t v) const {
+    return adjacency_[v];
+  }
+  std::uint32_t degree(std::uint32_t v) const {
+    return static_cast<std::uint32_t>(adjacency_[v].size());
+  }
+
+  /// Adds an undirected edge; duplicates and self-loops are ignored.
+  void add_edge(std::uint32_t a, std::uint32_t b);
+  bool has_edge(std::uint32_t a, std::uint32_t b) const;
+
+  bool is_connected() const;
+  std::uint32_t min_degree() const;
+  std::uint32_t max_degree() const;
+
+  // --- Families --------------------------------------------------------
+  static Graph complete(std::uint32_t n);
+  static Graph cycle(std::uint32_t n);
+  static Graph path(std::uint32_t n);
+  static Graph star(std::uint32_t n);
+  /// Random d-regular-ish graph: d/2 superposed uniformly random Hamilton
+  /// cycles (connected, degree ≤ d, expander w.h.p. for d ≥ 4).
+  static Graph random_regular(std::uint32_t n, std::uint32_t d,
+                              util::Rng& rng);
+  /// Erdős–Rényi G(n, p), re-sampled until connected (caller should pass
+  /// p ≥ c·log(n)/n).
+  static Graph erdos_renyi(std::uint32_t n, double p, util::Rng& rng);
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list_;
+};
+
+/// Scheduler for graphical populations: each step picks a uniformly
+/// random edge and a uniformly random orientation.
+class GraphScheduler {
+ public:
+  GraphScheduler(Graph graph, std::uint64_t seed)
+      : graph_(std::move(graph)), rng_(seed) {}
+
+  Pair next() {
+    const auto& edge = graph_.edge_list()[rng_.below(graph_.edges())];
+    return rng_.coin() ? Pair{edge.first, edge.second}
+                       : Pair{edge.second, edge.first};
+  }
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  Graph graph_;
+  util::Rng rng_;
+};
+
+}  // namespace ssle::pp

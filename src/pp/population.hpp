@@ -1,0 +1,40 @@
+// Population container: the configuration C ∈ Q^n of the paper, i.e. the
+// vector of all agents' states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/protocol.hpp"
+
+namespace ssle::pp {
+
+template <Protocol P>
+class Population {
+ public:
+  using State = typename P::State;
+
+  /// Builds the clean initial configuration defined by the protocol.
+  explicit Population(const P& protocol) {
+    states_.reserve(protocol.population_size());
+    for (std::uint32_t i = 0; i < protocol.population_size(); ++i) {
+      states_.push_back(protocol.initial_state(i));
+    }
+  }
+
+  /// Builds a population from an explicit configuration (used by the
+  /// adversary to exercise self-stabilization from arbitrary states).
+  explicit Population(std::vector<State> states) : states_(std::move(states)) {}
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(states_.size()); }
+  State& operator[](std::uint32_t i) { return states_[i]; }
+  const State& operator[](std::uint32_t i) const { return states_[i]; }
+
+  std::vector<State>& states() { return states_; }
+  const std::vector<State>& states() const { return states_; }
+
+ private:
+  std::vector<State> states_;
+};
+
+}  // namespace ssle::pp

@@ -1,0 +1,30 @@
+// Protocol concept for the simulation engine.
+//
+// A population protocol supplies:
+//   * `using State = ...`               — the per-agent state type,
+//   * `State initial_state(agent) const` — the clean initial state,
+//   * `void interact(State& initiator, State& responder, util::Rng&) const`
+//                                        — the transition function δ.
+//
+// The transition function may consume randomness (the paper assumes agents
+// can sample almost-u.a.r. values; Appendix B shows how to derandomize,
+// which we implement separately in core/synthetic_coin).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ssle::pp {
+
+template <typename P>
+concept Protocol = requires(const P& p, typename P::State& s,
+                            typename P::State& t, util::Rng& rng,
+                            std::uint32_t agent) {
+  { p.initial_state(agent) } -> std::same_as<typename P::State>;
+  { p.interact(s, t, rng) };
+  { p.population_size() } -> std::convertible_to<std::uint32_t>;
+};
+
+}  // namespace ssle::pp

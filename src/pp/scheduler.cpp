@@ -1,0 +1,3 @@
+#include "pp/scheduler.hpp"
+
+namespace ssle::pp {}

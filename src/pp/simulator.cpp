@@ -1,0 +1,3 @@
+#include "pp/simulator.hpp"
+
+namespace ssle::pp {}

@@ -1,0 +1,43 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace ssle::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "1";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& key,
+                            const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+}  // namespace ssle::util

@@ -1,0 +1,5 @@
+#include "util/rng.hpp"
+
+// Header-only; this translation unit exists so the library has a stable
+// object for the component and to hold future non-inline helpers.
+namespace ssle::util {}

@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssle::util {
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  s.median = percentile(xs, 0.5);
+  s.p10 = percentile(xs, 0.10);
+  s.p90 = percentile(xs, 0.90);
+  return s;
+}
+
+double ci95_halfwidth(const Summary& s) {
+  if (s.count < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+double fit_scale(std::span<const double> xs, std::span<const double> ys,
+                 double (*model)(double)) {
+  double num = 0.0;
+  double den = 0.0;
+  const std::size_t k = std::min(xs.size(), ys.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const double f = model(xs[i]);
+    num += f * ys[i];
+    den += f * f;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double fit_r2(std::span<const double> xs, std::span<const double> ys,
+              double (*model)(double), double scale) {
+  const std::size_t k = std::min(xs.size(), ys.size());
+  if (k == 0) return 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < k; ++i) mean += ys[i];
+  mean /= static_cast<double>(k);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double pred = scale * model(xs[i]);
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+  }
+  return ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys) {
+  PowerFit out;
+  const std::size_t k = std::min(xs.size(), ys.size());
+  if (k < 2) return out;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0) continue;
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++m;
+  }
+  if (m < 2) return out;
+  const double dm = static_cast<double>(m);
+  const double denom = dm * sxx - sx * sx;
+  if (denom == 0.0) return out;
+  out.exponent = (dm * sxy - sx * sy) / denom;
+  out.scale = std::exp((sy - out.exponent * sx) / dm);
+  // R² in log space.
+  double mean = sy / dm;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0) continue;
+    const double pred = std::log(out.scale) + out.exponent * std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    ss_res += (ly - pred) * (ly - pred);
+    ss_tot += (ly - mean) * (ly - mean);
+  }
+  out.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out;
+}
+
+double model_identity(double x) { return x; }
+double model_nlogn(double x) { return x > 1.0 ? x * std::log(x) : x; }
+double model_n2(double x) { return x * x; }
+double model_logn(double x) { return x > 1.0 ? std::log(x) : 1.0; }
+double model_n2logn(double x) { return x > 1.0 ? x * x * std::log(x) : x * x; }
+
+}  // namespace ssle::util

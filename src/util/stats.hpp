@@ -1,0 +1,57 @@
+// Small statistics toolkit used by the experiment harness: summary
+// statistics, percentiles, bootstrap-free normal confidence intervals and
+// least-squares fits against model curves (n, n log n, n^2, ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssle::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+};
+
+/// Summarizes a sample.  An empty sample yields an all-zero Summary.
+Summary summarize(std::span<const double> xs);
+
+/// Linear interpolation percentile, q in [0, 1].
+double percentile(std::span<const double> xs, double q);
+
+/// Half-width of a ~95% normal confidence interval for the mean.
+double ci95_halfwidth(const Summary& s);
+
+/// Least-squares fit of y ≈ c * f(x) through the origin; returns c.
+/// Used to report the empirical constant in "T(n) = c · n log n" style fits.
+double fit_scale(std::span<const double> xs, std::span<const double> ys,
+                 double (*model)(double));
+
+/// Coefficient of determination R² for the fit y ≈ c · f(x).
+double fit_r2(std::span<const double> xs, std::span<const double> ys,
+              double (*model)(double), double scale);
+
+/// Fits y ≈ a · x^b (log-log regression); returns {a, b}.
+struct PowerFit {
+  double scale = 0.0;
+  double exponent = 0.0;
+  double r2 = 0.0;
+};
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys);
+
+// Model curves for fit_scale / fit_r2.
+double model_identity(double x);
+double model_nlogn(double x);
+double model_n2(double x);
+double model_logn(double x);
+double model_n2logn(double x);
+
+}  // namespace ssle::util

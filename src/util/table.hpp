@@ -1,0 +1,36 @@
+// Aligned table / CSV emission for the benchmark harness.  Every bench
+// binary prints (a) a human-readable aligned table and (b) machine-readable
+// CSV rows prefixed with "CSV," so results can be grepped into files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssle::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the aligned human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Renders CSV lines (including a header line), each prefixed with "CSV,".
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with a sensible fixed precision for tables.
+std::string fmt(double v, int precision = 2);
+std::string fmt_int(long long v);
+
+}  // namespace ssle::util

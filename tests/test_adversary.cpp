@@ -1,0 +1,129 @@
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/safety.hpp"
+
+namespace ssle::core {
+namespace {
+
+TEST(Adversary, AllCorruptionsEnumerated) {
+  const auto all = all_corruptions();
+  EXPECT_EQ(all.size(), 9u);
+  std::set<std::string> names;
+  for (const auto c : all) names.insert(corruption_name(c));
+  EXPECT_EQ(names.size(), all.size());  // names are distinct
+}
+
+TEST(Adversary, NoneIsSafe) {
+  const Params p = Params::make(16, 8);
+  util::Rng rng(1);
+  const auto config = make_adversarial_config(p, Corruption::kNone, rng);
+  EXPECT_TRUE(is_safe_configuration(p, config));
+}
+
+TEST(Adversary, DuplicateRanksBreaksRanking) {
+  const Params p = Params::make(32, 8);
+  int broke = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    util::Rng rng(100 + trial);
+    const auto config =
+        make_adversarial_config(p, Corruption::kDuplicateRanks, rng);
+    broke += !ranking_correct(p, config);
+  }
+  EXPECT_GE(broke, 8);  // the random duplication may occasionally no-op
+}
+
+TEST(Adversary, NoLeaderHasNoRankOne) {
+  const Params p = Params::make(16, 8);
+  util::Rng rng(2);
+  const auto config = make_adversarial_config(p, Corruption::kNoLeader, rng);
+  EXPECT_EQ(leader_count(config), 0u);
+  EXPECT_FALSE(ranking_correct(p, config));
+}
+
+TEST(Adversary, CorruptMessagesKeepsRankingCorrect) {
+  const Params p = Params::make(16, 8);
+  util::Rng rng(3);
+  const auto config =
+      make_adversarial_config(p, Corruption::kCorruptMessages, rng);
+  EXPECT_TRUE(ranking_correct(p, config));
+  EXPECT_FALSE(message_system_consistent(p, config));
+}
+
+TEST(Adversary, LostMessagesKeepsRankingAndConsistency) {
+  // Dropping messages never creates duplicates or mismatches; the resulting
+  // configuration is degraded but self-consistent.
+  const Params p = Params::make(16, 8);
+  util::Rng rng(4);
+  const auto config =
+      make_adversarial_config(p, Corruption::kLostMessages, rng);
+  EXPECT_TRUE(ranking_correct(p, config));
+  EXPECT_TRUE(message_system_consistent(p, config));
+}
+
+TEST(Adversary, MixedGenerationsKeepsRanking) {
+  const Params p = Params::make(16, 8);
+  util::Rng rng(5);
+  const auto config =
+      make_adversarial_config(p, Corruption::kMixedGenerations, rng);
+  EXPECT_TRUE(ranking_correct(p, config));
+  EXPECT_FALSE(single_generation(config));
+}
+
+TEST(Adversary, MidRankingAllRankers) {
+  const Params p = Params::make(16, 8);
+  util::Rng rng(6);
+  const auto config = make_adversarial_config(p, Corruption::kMidRanking, rng);
+  for (const Agent& a : config) EXPECT_EQ(a.role, Role::kRanking);
+}
+
+TEST(Adversary, AllResettingAllResetters) {
+  const Params p = Params::make(16, 8);
+  util::Rng rng(7);
+  const auto config =
+      make_adversarial_config(p, Corruption::kAllResetting, rng);
+  for (const Agent& a : config) EXPECT_EQ(a.role, Role::kResetting);
+}
+
+TEST(Adversary, RandomStatesRespectStateSpaceBounds) {
+  const Params p = Params::make(32, 8);
+  util::Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Agent a = random_agent(p, rng);
+    EXPECT_GE(a.rank, 1u);
+    EXPECT_LE(a.rank, p.n);
+    EXPECT_LE(a.countdown, p.countdown_max);
+    if (a.role == Role::kResetting) {
+      EXPECT_LE(a.reset.reset_count, p.reset_count_max);
+      EXPECT_LE(a.reset.delay_timer, p.delay_timer_max);
+    }
+    if (a.role == Role::kVerifying) {
+      EXPECT_LT(a.sv.generation, Params::kGenerations);
+      EXPECT_LE(a.sv.probation_timer, p.probation_max);
+      // State-space restriction: own held messages match observations.
+      if (!a.sv.dc.error) {
+        const std::uint32_t bucket = p.rank_in_group(a.rank) - 1;
+        if (bucket < a.sv.dc.msgs.size()) {
+          for (const Msg& m : a.sv.dc.msgs[bucket]) {
+            ASSERT_LE(m.id, a.sv.dc.observations.size());
+            EXPECT_EQ(a.sv.dc.observations[m.id - 1], m.content);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Adversary, GeneratorIsDeterministicPerSeed) {
+  const Params p = Params::make(16, 4);
+  util::Rng rng1(9), rng2(9);
+  const auto a = make_adversarial_config(p, Corruption::kRandomStates, rng1);
+  const auto b = make_adversarial_config(p, Corruption::kRandomStates, rng2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ssle::core

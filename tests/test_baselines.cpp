@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cai_izumi_wada.hpp"
+#include "baselines/loose_leader.hpp"
+#include "baselines/silent_ssr.hpp"
+#include "pp/simulator.hpp"
+
+namespace ssle::baselines {
+namespace {
+
+// --- Cai–Izumi–Wada ---------------------------------------------------------
+
+TEST(CaiIzumiWada, EqualRanksAdvanceResponder) {
+  CaiIzumiWada p(4);
+  CaiIzumiWada::State u{2}, v{2};
+  util::Rng rng(1);
+  p.interact(u, v, rng);
+  EXPECT_EQ(u.rank, 2u);
+  EXPECT_EQ(v.rank, 3u);
+}
+
+TEST(CaiIzumiWada, RankWrapsAround) {
+  CaiIzumiWada p(4);
+  CaiIzumiWada::State u{4}, v{4};
+  util::Rng rng(1);
+  p.interact(u, v, rng);
+  EXPECT_EQ(v.rank, 1u);
+}
+
+TEST(CaiIzumiWada, DistinctRanksSilent) {
+  CaiIzumiWada p(4);
+  CaiIzumiWada::State u{1}, v{3};
+  util::Rng rng(1);
+  p.interact(u, v, rng);
+  EXPECT_EQ(u.rank, 1u);
+  EXPECT_EQ(v.rank, 3u);
+}
+
+class CiwSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CiwSweep, StabilizesToPermutationFromAllOnes) {
+  const std::uint32_t n = GetParam();
+  CaiIzumiWada protocol(n);
+  pp::Simulator<CaiIzumiWada> sim(protocol, 5);
+  const auto res = sim.run_until(
+      [&](const pp::Population<CaiIzumiWada>& pop, std::uint64_t) {
+        return protocol.is_stable(pop.states());
+      },
+      400ull * n * n);
+  ASSERT_TRUE(res.converged) << "n=" << n;
+  int leaders = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    leaders += CaiIzumiWada::is_leader(sim.population()[i]);
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CiwSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u));
+
+TEST(CaiIzumiWada, SelfStabilizesFromAdversarialRanks) {
+  const std::uint32_t n = 32;
+  CaiIzumiWada protocol(n);
+  std::vector<CaiIzumiWada::State> config(n);
+  util::Rng gen(7);
+  for (auto& s : config) {
+    s.rank = static_cast<std::uint32_t>(1 + gen.below(n));
+  }
+  pp::Population<CaiIzumiWada> pop(std::move(config));
+  pp::Simulator<CaiIzumiWada> sim(protocol, std::move(pop), 8);
+  const auto res = sim.run_until(
+      [&](const pp::Population<CaiIzumiWada>& p, std::uint64_t) {
+        return protocol.is_stable(p.states());
+      },
+      400ull * n * n);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(CaiIzumiWada, StableConfigIsSilent) {
+  const std::uint32_t n = 8;
+  CaiIzumiWada protocol(n);
+  std::vector<CaiIzumiWada::State> config(n);
+  for (std::uint32_t i = 0; i < n; ++i) config[i].rank = i + 1;
+  auto snapshot = config;
+  util::Rng rng(9);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (a != b) protocol.interact(config[a], config[b], rng);
+    }
+  }
+  EXPECT_EQ(config, snapshot);
+}
+
+// --- Silent SSR baseline ----------------------------------------------------
+
+class SsrSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SsrSweep, StabilizesToPermutation) {
+  const std::uint32_t n = GetParam();
+  SilentSsrBaseline protocol(n);
+  pp::Simulator<SilentSsrBaseline> sim(protocol, 11);
+  const auto res = sim.run_until(
+      [&](const pp::Population<SilentSsrBaseline>& pop, std::uint64_t) {
+        return protocol.is_stable(pop.states());
+      },
+      3000ull * n * (32 - __builtin_clz(n | 1)));
+  ASSERT_TRUE(res.converged) << "n=" << n;
+  int leaders = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    leaders += SilentSsrBaseline::is_leader(sim.population()[i]);
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SsrSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u));
+
+TEST(SilentSsr, DirectNameCollisionBumpsEpoch) {
+  SilentSsrBaseline p(8);
+  SilentSsrBaseline::State u, v;
+  util::Rng rng(1);
+  u.epoch = v.epoch = 0;
+  u.name = v.name = 77;
+  u.names = {77};
+  v.names = {77};
+  p.interact(u, v, rng);
+  EXPECT_GT(u.epoch, 0u);
+  EXPECT_EQ(u.epoch, v.epoch);
+  EXPECT_NE(u.name, v.name);  // w.h.p. in [n³]; equal would re-bump later
+}
+
+TEST(SilentSsr, EpochEpidemicResetsStragglers) {
+  SilentSsrBaseline p(8);
+  SilentSsrBaseline::State u, v;
+  util::Rng rng(2);
+  u.epoch = 3;
+  u.name = 5;
+  u.names = {5};
+  v.epoch = 1;
+  v.name = 6;
+  v.names = {6};
+  v.rank = 4;
+  p.interact(u, v, rng);
+  EXPECT_EQ(v.epoch, 3u);
+  EXPECT_EQ(v.rank, 0u);  // rank dropped on epoch change
+}
+
+TEST(SilentSsr, RecoversFromPlantedDuplicateNames) {
+  const std::uint32_t n = 16;
+  SilentSsrBaseline protocol(n);
+  std::vector<SilentSsrBaseline::State> config(n);
+  for (auto& s : config) {
+    s.name = 42;  // everyone shares one name
+    s.names = {42};
+  }
+  pp::Population<SilentSsrBaseline> pop(std::move(config));
+  pp::Simulator<SilentSsrBaseline> sim(protocol, std::move(pop), 13);
+  const auto res = sim.run_until(
+      [&](const pp::Population<SilentSsrBaseline>& c, std::uint64_t) {
+        return protocol.is_stable(c.states());
+      },
+      2000000);
+  EXPECT_TRUE(res.converged);
+}
+
+// --- Loose leader election ---------------------------------------------------
+
+TEST(LooseLeader, LeaderFightDemotesResponder) {
+  LooseLeaderElection p(16);
+  LooseLeaderElection::State u{true, 3}, v{true, 9};
+  util::Rng rng(1);
+  p.interact(u, v, rng);
+  EXPECT_TRUE(u.leader);
+  EXPECT_FALSE(v.leader);
+}
+
+TEST(LooseLeader, HeartbeatRefillsTimers) {
+  LooseLeaderElection p(16);
+  LooseLeaderElection::State u{true, 3}, v{false, 1};
+  util::Rng rng(1);
+  p.interact(u, v, rng);
+  EXPECT_EQ(u.timer, p.timeout());
+  EXPECT_EQ(v.timer, p.timeout());
+}
+
+TEST(LooseLeader, TimeoutPromotesInitiator) {
+  LooseLeaderElection p(16);
+  LooseLeaderElection::State u{false, 1}, v{false, 0};
+  util::Rng rng(1);
+  p.interact(u, v, rng);
+  EXPECT_TRUE(u.leader);
+}
+
+class LooseSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LooseSweep, ConvergesToSingleLeaderAndHolds) {
+  const std::uint32_t n = GetParam();
+  LooseLeaderElection protocol(n);
+  pp::Simulator<LooseLeaderElection> sim(protocol, 17);
+  const auto res = sim.run_until(
+      [&](const pp::Population<LooseLeaderElection>& pop, std::uint64_t) {
+        return protocol.leader_count(pop.states()) == 1;
+      },
+      4000ull * n);
+  ASSERT_TRUE(res.converged) << "n=" << n;
+  // Holding: stays a unique leader for a decent stretch afterwards.
+  for (int round = 0; round < 50; ++round) {
+    sim.step(n);
+    ASSERT_EQ(protocol.leader_count(sim.population().states()), 1u)
+        << "n=" << n << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LooseSweep,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+TEST(LooseLeader, RecoversFromAllLeaders) {
+  const std::uint32_t n = 32;
+  LooseLeaderElection protocol(n);
+  std::vector<LooseLeaderElection::State> config(
+      n, LooseLeaderElection::State{true, 1});
+  pp::Population<LooseLeaderElection> pop(std::move(config));
+  pp::Simulator<LooseLeaderElection> sim(protocol, std::move(pop), 19);
+  const auto res = sim.run_until(
+      [&](const pp::Population<LooseLeaderElection>& c, std::uint64_t) {
+        return protocol.leader_count(c.states()) == 1;
+      },
+      4000ull * n);
+  EXPECT_TRUE(res.converged);
+}
+
+}  // namespace
+}  // namespace ssle::baselines

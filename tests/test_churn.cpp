@@ -1,0 +1,74 @@
+#include "analysis/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/measure.hpp"
+
+namespace ssle::analysis {
+namespace {
+
+using core::Params;
+
+TEST(Churn, NoChurnIsFullyAvailable) {
+  const Params p = Params::make(16, 8);
+  ChurnSpec spec;
+  spec.burst_period = 0;
+  spec.horizon = 50000;
+  const ChurnReport report = run_churn(p, spec, 1);
+  EXPECT_EQ(report.bursts, 0u);
+  EXPECT_DOUBLE_EQ(report.leader_availability(), 1.0);
+  EXPECT_DOUBLE_EQ(report.safe_availability(), 1.0);
+}
+
+TEST(Churn, RareFaultsRecoverToHighAvailability) {
+  const Params p = Params::make(16, 8);
+  ChurnSpec spec;
+  spec.burst_period = 4 * default_budget(p) / 20;
+  spec.burst_size = 1;
+  spec.horizon = 12 * spec.burst_period;
+  const ChurnReport report = run_churn(p, spec, 2);
+  EXPECT_GT(report.bursts, 10u);
+  EXPECT_GT(report.leader_availability(), 0.60);
+}
+
+TEST(Churn, HeavyChurnDegradesButNeverCrashes) {
+  const Params p = Params::make(16, 4);
+  ChurnSpec spec;
+  spec.burst_period = 2000;
+  spec.burst_size = 4;
+  spec.horizon = 400000;
+  const ChurnReport report = run_churn(p, spec, 3);
+  EXPECT_GT(report.bursts, 100u);
+  // Under heavy churn availability drops, but the run completes and some
+  // probes still observe a unique leader.
+  EXPECT_LT(report.leader_availability(), 1.0);
+  EXPECT_GT(report.probes, 0u);
+}
+
+TEST(Churn, ReportAccounting) {
+  const Params p = Params::make(16, 8);
+  ChurnSpec spec;
+  spec.burst_period = 1000;
+  spec.burst_size = 3;
+  spec.horizon = 10000;
+  spec.probe_every = 100;
+  const ChurnReport report = run_churn(p, spec, 4);
+  EXPECT_EQ(report.bursts, 10u);
+  EXPECT_EQ(report.agents_corrupted, 30u);
+  EXPECT_EQ(report.probes, 100u);
+}
+
+TEST(Churn, DeterministicPerSeed) {
+  const Params p = Params::make(16, 8);
+  ChurnSpec spec;
+  spec.burst_period = 5000;
+  spec.burst_size = 2;
+  spec.horizon = 100000;
+  const ChurnReport a = run_churn(p, spec, 9);
+  const ChurnReport b = run_churn(p, spec, 9);
+  EXPECT_EQ(a.probes_with_unique_leader, b.probes_with_unique_leader);
+  EXPECT_EQ(a.probes_safe, b.probes_safe);
+}
+
+}  // namespace
+}  // namespace ssle::analysis

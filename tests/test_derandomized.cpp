@@ -1,0 +1,72 @@
+#include "core/derandomized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/safety.hpp"
+#include "pp/simulator.hpp"
+
+namespace ssle::core {
+namespace {
+
+TEST(Derandomized, TransitionIsDeterministicFunctionOfStates) {
+  const Params p = Params::make(16, 4);
+  DerandomizedElectLeader protocol(p);
+  DerandomizedElectLeader::State u1 = protocol.initial_state(0);
+  DerandomizedElectLeader::State v1 = protocol.initial_state(1);
+  auto u2 = u1;
+  auto v2 = v1;
+  // Two *different* engine RNGs must not influence the outcome.
+  util::Rng rng_a(111), rng_b(999);
+  for (int i = 0; i < 200; ++i) {
+    protocol.interact(u1, v1, rng_a);
+    protocol.interact(u2, v2, rng_b);
+    ASSERT_EQ(u1.agent, u2.agent) << "step " << i;
+    ASSERT_EQ(v1.agent, v2.agent) << "step " << i;
+  }
+}
+
+TEST(Derandomized, ReplayReproducesRunBitForBit) {
+  const Params p = Params::make(16, 8);
+  DerandomizedElectLeader protocol(p);
+  // Same scheduler seed → identical trajectories, regardless of the agent
+  // RNG substream (which is unused).
+  pp::Simulator<DerandomizedElectLeader> a(protocol, 5);
+  pp::Simulator<DerandomizedElectLeader> b(protocol, 5);
+  a.step(20000);
+  b.step(20000);
+  for (std::uint32_t i = 0; i < p.n; ++i) {
+    ASSERT_EQ(a.population()[i].agent, b.population()[i].agent);
+  }
+}
+
+class DerandomizedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DerandomizedSweep, StabilizesWithSchedulerRandomnessOnly) {
+  const Params p = Params::make(16, 4);
+  DerandomizedElectLeader protocol(p);
+  pp::Simulator<DerandomizedElectLeader> sim(protocol, GetParam());
+  const std::uint64_t L = Params::log2ceil(p.n);
+  const std::uint64_t budget = 3000ull * p.n * L * (p.n / p.r) + 500000;
+  const auto res = sim.run_until(
+      [&](const pp::Population<DerandomizedElectLeader>& pop, std::uint64_t) {
+        std::vector<Agent> agents;
+        agents.reserve(pop.size());
+        for (std::uint32_t i = 0; i < pop.size(); ++i) {
+          agents.push_back(pop[i].agent);
+        }
+        return is_safe_configuration(p, agents);
+      },
+      budget, p.n);
+  ASSERT_TRUE(res.converged) << "seed " << GetParam();
+  std::uint32_t leaders = 0;
+  for (std::uint32_t i = 0; i < p.n; ++i) {
+    leaders += DerandomizedElectLeader::is_leader(sim.population()[i]);
+  }
+  EXPECT_EQ(leaders, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerandomizedSweep,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace ssle::core

@@ -1,0 +1,160 @@
+#include "core/elect_leader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/measure.hpp"
+#include "core/adversary.hpp"
+#include "core/propagate_reset.hpp"
+#include "core/safety.hpp"
+#include "core/stable_verify.hpp"
+#include "pp/simulator.hpp"
+
+namespace ssle::core {
+namespace {
+
+TEST(ElectLeader, InitialStateIsCleanRanker) {
+  const Params p = Params::make(16, 4);
+  ElectLeader protocol(p);
+  const Agent a = protocol.initial_state(0);
+  EXPECT_EQ(a.role, Role::kRanking);
+  EXPECT_EQ(a.countdown, p.countdown_max);
+  EXPECT_EQ(a.ar.type, ArType::kLeaderElection);
+}
+
+TEST(ElectLeader, CountdownForcesVerifier) {
+  const Params p = Params::make(16, 4);
+  ElectLeader protocol(p);
+  Agent u = protocol.initial_state(0);
+  Agent v = protocol.initial_state(1);
+  // Give the stragglers distinct computed ranks so the immediate
+  // StableVerify interaction does not (correctly!) flag a collision.
+  u.ar.type = ArType::kRanked;
+  u.ar.rank = 2;
+  v.ar.type = ArType::kRanked;
+  v.ar.rank = 9;
+  u.countdown = 1;
+  v.countdown = 1;
+  util::Rng rng(1);
+  protocol.interact(u, v, rng);
+  EXPECT_EQ(u.role, Role::kVerifying);
+  EXPECT_EQ(v.role, Role::kVerifying);
+  EXPECT_EQ(u.rank, 2u);
+  EXPECT_EQ(v.rank, 9u);
+}
+
+TEST(ElectLeader, SharedDefaultRankStragglersCollideAndReset) {
+  // Two stragglers forced out of Ranking both carry the default rank 1;
+  // they are in the same group, DetectCollision raises ⊤ immediately, and
+  // (being on fresh probation) they hard-reset — the paper's intended
+  // recovery path for failed rankings.
+  const Params p = Params::make(16, 4);
+  ElectLeader protocol(p);
+  Agent u = protocol.initial_state(0);
+  Agent v = protocol.initial_state(1);
+  u.countdown = 1;
+  v.countdown = 1;
+  util::Rng rng(1);
+  protocol.interact(u, v, rng);
+  EXPECT_TRUE(u.role == Role::kResetting || v.role == Role::kResetting);
+}
+
+TEST(ElectLeader, VerifierConvertsRankerByEpidemic) {
+  const Params p = Params::make(16, 4);
+  ElectLeader protocol(p);
+  Agent u = protocol.initial_state(0);
+  Agent v;
+  v.role = Role::kVerifying;
+  v.rank = 3;
+  v.sv = sv_initial_state(p, 3);
+  util::Rng rng(2);
+  protocol.interact(u, v, rng);
+  EXPECT_EQ(u.role, Role::kVerifying);
+}
+
+TEST(ElectLeader, RankClampedIntoStateSpace) {
+  const Params p = Params::make(16, 4);
+  ElectLeader protocol(p);
+  Agent u = protocol.initial_state(0);
+  u.ar.type = ArType::kRanked;
+  u.ar.rank = 4000;  // out of [n] — only possible adversarially
+  u.countdown = 0;
+  Agent v = protocol.initial_state(1);
+  util::Rng rng(3);
+  protocol.interact(u, v, rng);
+  EXPECT_EQ(u.role, Role::kVerifying);
+  EXPECT_LE(u.rank, p.n);
+  EXPECT_GE(u.rank, 1u);
+}
+
+TEST(ElectLeader, IsLeaderRequiresVerifyingRankOne) {
+  Agent a;
+  a.role = Role::kVerifying;
+  a.rank = 1;
+  EXPECT_TRUE(ElectLeader::is_leader(a));
+  a.rank = 2;
+  EXPECT_FALSE(ElectLeader::is_leader(a));
+  a.rank = 1;
+  a.role = Role::kRanking;
+  EXPECT_FALSE(ElectLeader::is_leader(a));
+}
+
+// --- Clean-start stabilization across the parameter space (Thm 1.1) --------
+
+class CleanStart
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(CleanStart, StabilizesWithUniqueLeader) {
+  const auto [n, r] = GetParam();
+  const Params p = Params::make(n, r);
+  const auto res =
+      analysis::stabilize_clean(p, 42, analysis::default_budget(p));
+  ASSERT_TRUE(res.converged) << "n=" << n << " r=" << r;
+  EXPECT_EQ(res.leaders, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CleanStart,
+    ::testing::Values(std::tuple{8u, 1u}, std::tuple{8u, 2u},
+                      std::tuple{8u, 4u}, std::tuple{16u, 1u},
+                      std::tuple{16u, 4u}, std::tuple{16u, 8u},
+                      std::tuple{24u, 5u}, std::tuple{32u, 4u},
+                      std::tuple{32u, 16u}, std::tuple{48u, 16u},
+                      std::tuple{64u, 8u}, std::tuple{64u, 32u}));
+
+TEST(ElectLeader, LightMultiplicityStabilizes) {
+  const Params p = Params::make(64, 16, MessageMultiplicity::kLight);
+  const auto res = analysis::stabilize_clean(p, 7, analysis::default_budget(p));
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.leaders, 1u);
+}
+
+// --- Safety: once safe, stays safe (Lemma 6.1) ------------------------------
+
+TEST(ElectLeader, SafeConfigurationIsClosedUnderInteractions) {
+  const Params p = Params::make(24, 12);
+  ElectLeader protocol(p);
+  pp::Population<ElectLeader> pop(make_safe_config(p));
+  pp::Simulator<ElectLeader> sim(protocol, std::move(pop), 11);
+  for (int round = 0; round < 60; ++round) {
+    sim.step(1000);
+    ASSERT_TRUE(ranking_correct(p, sim.population().states()))
+        << "round " << round;
+    ASSERT_EQ(leader_count(sim.population().states()), 1u);
+  }
+  // The full safe predicate also keeps holding (messages stay consistent).
+  EXPECT_TRUE(is_safe_configuration(p, sim.population().states()));
+}
+
+TEST(ElectLeader, StabilizationIsDeterministicPerSeed) {
+  const Params p = Params::make(16, 8);
+  const auto a = analysis::stabilize_clean(p, 5, analysis::default_budget(p));
+  const auto b = analysis::stabilize_clean(p, 5, analysis::default_budget(p));
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+}  // namespace
+}  // namespace ssle::core

@@ -1,0 +1,126 @@
+#include "core/fast_leader_elect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pp/scheduler.hpp"
+
+namespace ssle::core {
+namespace {
+
+/// Runs FastLeaderElect standalone on n agents until all are done or the
+/// budget runs out; returns the final states.
+std::vector<FastLeState> run_fle(const Params& params, std::uint64_t seed,
+                                 std::uint64_t budget) {
+  std::vector<FastLeState> agents(params.n, fle_initial_state());
+  pp::UniformScheduler sched(params.n, seed);
+  util::Rng rng(util::substream(seed, 4));
+  for (std::uint64_t t = 0; t < budget; ++t) {
+    const auto [a, b] = sched.next();
+    fle_interact(params, agents[a], agents[b], rng);
+    bool all_done = true;
+    for (const auto& s : agents) all_done &= s.leader_done;
+    if (all_done) break;
+  }
+  return agents;
+}
+
+int leader_count(const std::vector<FastLeState>& agents) {
+  int k = 0;
+  for (const auto& s : agents) k += s.leader_done && s.leader_bit;
+  return k;
+}
+
+TEST(FastLeaderElect, ActivationDrawsIdentifierOnce) {
+  const Params p = Params::make(64, 8);
+  util::Rng rng(1);
+  FastLeState s = fle_initial_state();
+  EXPECT_FALSE(s.drawn);
+  fle_activate(p, s, rng);
+  EXPECT_TRUE(s.drawn);
+  EXPECT_GE(s.identifier, 1u);
+  EXPECT_LE(s.identifier, p.identifier_space);
+  EXPECT_EQ(s.min_identifier, s.identifier);
+  const auto id = s.identifier;
+  fle_activate(p, s, rng);  // idempotent
+  EXPECT_EQ(s.identifier, id);
+}
+
+TEST(FastLeaderElect, MinIdentifierMerges) {
+  const Params p = Params::make(64, 8);
+  util::Rng rng(2);
+  FastLeState u = fle_initial_state();
+  FastLeState v = fle_initial_state();
+  fle_interact(p, u, v, rng);
+  EXPECT_EQ(u.min_identifier, v.min_identifier);
+  EXPECT_EQ(u.min_identifier, std::min(u.identifier, v.identifier));
+}
+
+TEST(FastLeaderElect, CountdownDecrementsAndFinishes) {
+  const Params p = Params::make(64, 8);
+  util::Rng rng(3);
+  FastLeState u = fle_initial_state();
+  FastLeState v = fle_initial_state();
+  fle_interact(p, u, v, rng);
+  const auto before = u.le_count;
+  fle_interact(p, u, v, rng);
+  EXPECT_EQ(u.le_count, before - 1);
+  for (int i = 0; i < 10000 && !u.leader_done; ++i) fle_interact(p, u, v, rng);
+  EXPECT_TRUE(u.leader_done);
+  EXPECT_TRUE(v.leader_done);
+  // Two agents: exactly one has the min and wins.
+  EXPECT_EQ((u.leader_bit ? 1 : 0) + (v.leader_bit ? 1 : 0), 1);
+}
+
+class FleSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FleSweep, ElectsExactlyOneLeaderWhp) {
+  const std::uint32_t n = GetParam();
+  const Params p = Params::make(n, std::max(1u, n / 4));
+  int unique = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto agents = run_fle(p, 1000 + trial, 400ull * n * 20);
+    for (const auto& s : agents) ASSERT_TRUE(s.leader_done);
+    unique += (leader_count(agents) == 1);
+  }
+  // Lemma D.10: unique leader w.h.p.
+  EXPECT_GE(unique, kTrials - 1) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FleSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u));
+
+TEST(FastLeaderElect, TimeIsLogarithmic) {
+  // Lemma D.10: time O(log n).  Measure completion interactions at two
+  // sizes and check the growth is ~ n log n (interactions), i.e. far less
+  // than quadratic.
+  auto completion = [](std::uint32_t n) {
+    const Params p = Params::make(n, 2);
+    std::vector<FastLeState> agents(n, fle_initial_state());
+    pp::UniformScheduler sched(n, 42);
+    util::Rng rng(43);
+    std::uint64_t t = 0;
+    auto all_done = [&] {
+      for (const auto& s : agents) {
+        if (!s.leader_done) return false;
+      }
+      return true;
+    };
+    while (!all_done()) {
+      const auto [a, b] = sched.next();
+      fle_interact(p, agents[a], agents[b], rng);
+      ++t;
+    }
+    return t;
+  };
+  const auto t64 = completion(64);
+  const auto t256 = completion(256);
+  // n log n growth from 64→256 is ×(256·9)/(64·7) ≈ 5.1; quadratic is ×16.
+  EXPECT_LT(static_cast<double>(t256),
+            10.0 * static_cast<double>(t64));
+}
+
+}  // namespace
+}  // namespace ssle::core

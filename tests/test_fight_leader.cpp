@@ -1,0 +1,61 @@
+#include "baselines/fight_leader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pp/simulator.hpp"
+
+namespace ssle::baselines {
+namespace {
+
+TEST(FightLeader, ResponderAbdicates) {
+  FightLeaderElection p(4);
+  FightLeaderElection::State u{true}, v{true};
+  util::Rng rng(1);
+  p.interact(u, v, rng);
+  EXPECT_TRUE(u.leader);
+  EXPECT_FALSE(v.leader);
+}
+
+TEST(FightLeader, NonLeadersAreInert) {
+  FightLeaderElection p(4);
+  FightLeaderElection::State u{false}, v{false};
+  util::Rng rng(1);
+  p.interact(u, v, rng);
+  EXPECT_FALSE(u.leader);
+  EXPECT_FALSE(v.leader);
+}
+
+class FightSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FightSweep, ConvergesToExactlyOneLeader) {
+  const std::uint32_t n = GetParam();
+  FightLeaderElection protocol(n);
+  pp::Simulator<FightLeaderElection> sim(protocol, 5);
+  const auto res = sim.run_until(
+      [&](const pp::Population<FightLeaderElection>& pop, std::uint64_t) {
+        return protocol.leader_count(pop.states()) == 1;
+      },
+      100ull * n * n);
+  ASSERT_TRUE(res.converged) << "n=" << n;
+  // Pairwise elimination needs Θ(n²) interactions (Θ(n) parallel time):
+  // the last two leaders meet with probability 2/(n(n-1)) per step.
+  EXPECT_GT(res.interactions, static_cast<std::uint64_t>(n) * n / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FightSweep,
+                         ::testing::Values(4u, 16u, 64u, 256u));
+
+TEST(FightLeader, LeaderlessConfigurationDeadlocks) {
+  // The reason self-stabilization is non-trivial: this protocol can never
+  // recover from a leaderless configuration.
+  const std::uint32_t n = 16;
+  FightLeaderElection protocol(n);
+  pp::Population<FightLeaderElection> pop(
+      std::vector<FightLeaderElection::State>(n, {false}));
+  pp::Simulator<FightLeaderElection> sim(protocol, std::move(pop), 7);
+  sim.step(100000);
+  EXPECT_EQ(protocol.leader_count(sim.population().states()), 0u);
+}
+
+}  // namespace
+}  // namespace ssle::baselines

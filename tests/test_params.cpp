@@ -1,0 +1,123 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace ssle::core {
+namespace {
+
+TEST(Params, Log2Ceil) {
+  EXPECT_EQ(Params::log2ceil(1), 1u);
+  EXPECT_EQ(Params::log2ceil(2), 2u);
+  EXPECT_EQ(Params::log2ceil(3), 3u);
+  EXPECT_EQ(Params::log2ceil(4), 3u);
+  EXPECT_EQ(Params::log2ceil(1024), 11u);
+}
+
+TEST(Params, ClampsRToValidRange) {
+  const Params p = Params::make(10, 100);
+  EXPECT_EQ(p.r, 5u);  // n/2
+  const Params q = Params::make(10, 0);
+  EXPECT_EQ(q.r, 1u);
+}
+
+TEST(Params, TimersScaleWithNOverR) {
+  const Params fast = Params::make(128, 64);
+  const Params slow = Params::make(128, 2);
+  EXPECT_LT(fast.countdown_max, slow.countdown_max);
+  EXPECT_LT(fast.probation_max, slow.probation_max);
+  EXPECT_GT(slow.countdown_max / fast.countdown_max, 16u);
+}
+
+TEST(Params, DelayTimerDominatesResetCount) {
+  for (std::uint32_t n : {8u, 64u, 1000u}) {
+    const Params p = Params::make(n, 2);
+    EXPECT_GT(p.delay_timer_max, p.reset_count_max);
+  }
+}
+
+TEST(Params, IdentifierSpaceIsNCubed) {
+  const Params p = Params::make(100, 10);
+  EXPECT_EQ(p.identifier_space, 1000000ull);
+}
+
+TEST(Params, MultiplicityControlsIdsPerRank) {
+  const Params faithful = Params::make(64, 32, MessageMultiplicity::kFaithful);
+  const Params light = Params::make(64, 32, MessageMultiplicity::kLight);
+  const std::uint32_t m = faithful.group_size(0);
+  EXPECT_EQ(faithful.ids_per_rank(0), 2 * m * m);
+  EXPECT_EQ(light.ids_per_rank(0), 4 * m);
+}
+
+TEST(Params, SignatureSpaceFloorAndCap) {
+  const Params tiny = Params::make(8, 2);
+  EXPECT_GE(tiny.signature_space(0), 1ull << 20);
+  const Params big = Params::make(512, 256);
+  EXPECT_LE(big.signature_space(0), 0xFFFFFFFFull);
+}
+
+// --- Group partition properties (parameterized over (n, r)) ---------------
+
+class GroupPartition
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(GroupPartition, CoversAllRanksContiguously) {
+  const auto [n, r] = GetParam();
+  const Params p = Params::make(n, r);
+  std::uint32_t expected_begin = 1;
+  for (std::uint32_t g = 0; g < p.num_groups(); ++g) {
+    EXPECT_EQ(p.group_begin(g), expected_begin);
+    expected_begin += p.group_size(g);
+  }
+  EXPECT_EQ(expected_begin, n + 1);  // exact cover of [n]
+}
+
+TEST_P(GroupPartition, GroupOfIsConsistentWithBounds) {
+  const auto [n, r] = GetParam();
+  const Params p = Params::make(n, r);
+  for (std::uint32_t rank = 1; rank <= n; ++rank) {
+    const std::uint32_t g = p.group_of(rank);
+    ASSERT_LT(g, p.num_groups());
+    EXPECT_GE(rank, p.group_begin(g));
+    EXPECT_LT(rank, p.group_begin(g) + p.group_size(g));
+    const std::uint32_t pos = p.rank_in_group(rank);
+    EXPECT_GE(pos, 1u);
+    EXPECT_LE(pos, p.group_size(g));
+  }
+}
+
+TEST_P(GroupPartition, SizesInPaperRange) {
+  // §3.3: groups of size Θ(r), concretely within {r/2, ..., 2r}.
+  const auto [n, r] = GetParam();
+  const Params p = Params::make(n, r);
+  for (std::uint32_t g = 0; g < p.num_groups(); ++g) {
+    EXPECT_GE(2 * p.group_size(g), p.r) << "group " << g;
+    EXPECT_LE(p.group_size(g), 2 * p.r) << "group " << g;
+  }
+}
+
+TEST_P(GroupPartition, SizesDifferByAtMostOne) {
+  const auto [n, r] = GetParam();
+  const Params p = Params::make(n, r);
+  std::uint32_t mn = ~0u, mx = 0;
+  for (std::uint32_t g = 0; g < p.num_groups(); ++g) {
+    mn = std::min(mn, p.group_size(g));
+    mx = std::max(mx, p.group_size(g));
+  }
+  EXPECT_LE(mx - mn, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GroupPartition,
+    ::testing::Values(std::tuple{4u, 1u}, std::tuple{4u, 2u},
+                      std::tuple{10u, 3u}, std::tuple{16u, 8u},
+                      std::tuple{17u, 4u}, std::tuple{31u, 5u},
+                      std::tuple{64u, 2u}, std::tuple{64u, 32u},
+                      std::tuple{100u, 7u}, std::tuple{127u, 11u},
+                      std::tuple{128u, 64u}, std::tuple{1000u, 31u},
+                      std::tuple{1024u, 512u}, std::tuple{999u, 499u}));
+
+}  // namespace
+}  // namespace ssle::core

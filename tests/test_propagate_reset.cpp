@@ -1,0 +1,188 @@
+#include "core/propagate_reset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/elect_leader.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssle::core {
+namespace {
+
+struct ResetHarness {
+  Params params;
+  std::vector<Agent> agents;
+  pp::UniformScheduler sched;
+  util::Rng rng;
+
+  explicit ResetHarness(std::uint32_t n, std::uint64_t seed = 1)
+      : params(Params::make(n, std::max(1u, n / 4))),
+        sched(n, seed),
+        rng(util::substream(seed, 4)) {
+    ElectLeader protocol(params);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      agents.push_back(protocol.initial_state(i));
+    }
+  }
+
+  /// Steps the full ElectLeader wrapper (resets interleave with ranking).
+  void step(std::uint64_t count) {
+    ElectLeader protocol(params);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto [a, b] = sched.next();
+      protocol.interact(agents[a], agents[b], rng);
+    }
+  }
+
+  std::uint32_t count_resetting() const {
+    std::uint32_t k = 0;
+    for (const auto& a : agents) k += a.role == Role::kResetting;
+    return k;
+  }
+
+  bool fully_dormant() const {
+    for (const auto& a : agents) {
+      if (!is_dormant(a)) return false;
+    }
+    return true;
+  }
+};
+
+TEST(TriggerReset, SetsTriggeredState) {
+  const Params p = Params::make(32, 8);
+  Agent a;
+  a.role = Role::kVerifying;
+  trigger_reset(p, a);
+  EXPECT_EQ(a.role, Role::kResetting);
+  EXPECT_EQ(a.reset.reset_count, p.reset_count_max);
+  EXPECT_EQ(a.reset.delay_timer, p.delay_timer_max);
+}
+
+TEST(ResetAgent, ProducesCleanRanker) {
+  const Params p = Params::make(32, 8);
+  Agent a;
+  a.role = Role::kResetting;
+  a.rank = 17;
+  reset_agent(p, a);
+  EXPECT_EQ(a.role, Role::kRanking);
+  EXPECT_EQ(a.countdown, p.countdown_max);
+  EXPECT_EQ(a.rank, 1u);
+  EXPECT_EQ(a.ar.type, ArType::kLeaderElection);
+  EXPECT_FALSE(a.ar.le.drawn);
+}
+
+TEST(PropagateReset, TriggeredAgentInfectsComputing) {
+  const Params p = Params::make(32, 8);
+  Agent u, v;
+  trigger_reset(p, u);
+  v.role = Role::kRanking;
+  propagate_reset(p, u, v);
+  EXPECT_EQ(v.role, Role::kResetting);
+  // Both carry the decremented max count.
+  EXPECT_EQ(u.reset.reset_count, p.reset_count_max - 1);
+  EXPECT_EQ(v.reset.reset_count, p.reset_count_max - 1);
+}
+
+TEST(PropagateReset, CountsMaxMergeAndDecrement) {
+  const Params p = Params::make(32, 8);
+  Agent u, v;
+  trigger_reset(p, u);
+  trigger_reset(p, v);
+  u.reset.reset_count = 10;
+  v.reset.reset_count = 3;
+  propagate_reset(p, u, v);
+  EXPECT_EQ(u.reset.reset_count, 9u);
+  EXPECT_EQ(v.reset.reset_count, 9u);
+}
+
+TEST(PropagateReset, DormantAgentWokenByComputingAgent) {
+  const Params p = Params::make(32, 8);
+  Agent u, v;
+  trigger_reset(p, u);
+  u.reset.reset_count = 0;  // dormant
+  u.reset.delay_timer = p.delay_timer_max;
+  v.role = Role::kRanking;
+  propagate_reset(p, u, v);
+  EXPECT_EQ(u.role, Role::kRanking);  // woke up via Reset
+  EXPECT_EQ(u.countdown, p.countdown_max);
+}
+
+TEST(PropagateReset, DelayTimerExpiryWakesDormantPair) {
+  const Params p = Params::make(32, 8);
+  Agent u, v;
+  trigger_reset(p, u);
+  trigger_reset(p, v);
+  u.reset.reset_count = 0;
+  v.reset.reset_count = 0;
+  u.reset.delay_timer = 1;
+  v.reset.delay_timer = 5;
+  propagate_reset(p, u, v);
+  // u's timer hits 0 → Reset(u); v then sees a computing partner → wakes.
+  EXPECT_EQ(u.role, Role::kRanking);
+  EXPECT_EQ(v.role, Role::kRanking);
+}
+
+TEST(PropagateReset, ArmsDelayTimerWhenCountJustBecameZero) {
+  const Params p = Params::make(32, 8);
+  Agent u, v;
+  trigger_reset(p, u);
+  trigger_reset(p, v);
+  u.reset.reset_count = 1;
+  v.reset.reset_count = 1;
+  u.reset.delay_timer = 3;  // stale value; must be re-armed
+  propagate_reset(p, u, v);
+  EXPECT_EQ(u.reset.reset_count, 0u);
+  EXPECT_EQ(u.reset.delay_timer, p.delay_timer_max);
+  EXPECT_EQ(u.role, Role::kResetting);
+}
+
+// --- Phase behaviour (Corollary C.3), via the full wrapper -----------------
+
+class ResetPhases : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ResetPhases, TriggeredToDormantToComputing) {
+  const std::uint32_t n = GetParam();
+  ResetHarness h(n);
+  trigger_reset(h.params, h.agents[0]);
+
+  // Phase 1: within O(n log n) interactions the population passes through
+  // a fully dormant configuration (Lemma C.1).
+  const std::uint64_t L = Params::log2ceil(n);
+  bool saw_dormant = false;
+  for (std::uint64_t t = 0; t < 400 * n * L && !saw_dormant; t += n / 2 + 1) {
+    h.step(n / 2 + 1);
+    saw_dormant = h.fully_dormant();
+  }
+  EXPECT_TRUE(saw_dormant) << "n=" << n;
+
+  // Phase 2: from dormant, everyone awakens into computing states within
+  // O(n·D_max) interactions (Theorem C.2).
+  std::uint64_t budget = 20ull * n * h.params.delay_timer_max + 400 * n * L;
+  while (budget > 0 && h.count_resetting() > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(n, budget);
+    h.step(chunk);
+    budget -= chunk;
+  }
+  EXPECT_EQ(h.count_resetting(), 0u) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ResetPhases,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+TEST(PropagateReset, ResetWaveReachesEveryAgent) {
+  ResetHarness h(64, 9);
+  h.step(5000);  // let ranking get going
+  trigger_reset(h.params, h.agents[0]);
+  // The wave must sweep the whole population: track the peak simultaneous
+  // resetter count over the following interactions.
+  std::uint32_t peak = 0;
+  for (int t = 0; t < 3000; ++t) {
+    h.step(16);
+    peak = std::max(peak, h.count_resetting());
+  }
+  EXPECT_EQ(peak, 64u);
+}
+
+}  // namespace
+}  // namespace ssle::core

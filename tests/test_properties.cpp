@@ -1,0 +1,183 @@
+// Property-based tests: invariants that must hold along *every* trajectory
+// of ElectLeader_r, checked on randomized runs from randomized (clean and
+// adversarial) starting configurations across many seeds.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/adversary.hpp"
+#include "core/detect_collision.hpp"
+#include "core/elect_leader.hpp"
+#include "core/safety.hpp"
+#include "pp/simulator.hpp"
+
+namespace ssle::core {
+namespace {
+
+struct TrajectoryChecker {
+  Params params;
+
+  /// Field-domain invariants of the formal state space (Fig. 1–3).
+  void check_state_space(const Agent& a) const {
+    ASSERT_GE(a.rank, 1u);
+    ASSERT_LE(a.rank, params.n);
+    ASSERT_LE(a.countdown, params.countdown_max);
+    ASSERT_LE(a.reset.reset_count, params.reset_count_max);
+    ASSERT_LE(a.reset.delay_timer, params.delay_timer_max);
+    if (a.role == Role::kVerifying) {
+      ASSERT_LT(a.sv.generation, Params::kGenerations);
+      ASSERT_LE(a.sv.probation_timer, params.probation_max);
+      if (!a.sv.dc.error) {
+        const std::uint32_t group = params.group_of(a.rank);
+        ASSERT_LE(a.sv.dc.msgs.size(), params.group_size(group));
+        for (const auto& bucket : a.sv.dc.msgs) {
+          for (std::size_t i = 0; i < bucket.size(); ++i) {
+            ASSERT_GE(bucket[i].id, 1u);
+            ASSERT_LE(bucket[i].id, params.ids_per_rank(group));
+            if (i > 0) ASSERT_LT(bucket[i - 1].id, bucket[i].id);  // sorted
+          }
+        }
+        // Own-messages-match-observations restriction (§5.1).
+        const std::uint32_t bucket_idx = params.rank_in_group(a.rank) - 1;
+        if (bucket_idx < a.sv.dc.msgs.size()) {
+          for (const Msg& m : a.sv.dc.msgs[bucket_idx]) {
+            ASSERT_LE(m.id, a.sv.dc.observations.size());
+            ASSERT_EQ(a.sv.dc.observations[m.id - 1], m.content);
+          }
+        }
+      }
+    }
+    if (a.role == Role::kRanking && a.ar.type == ArType::kDeputy) {
+      ASSERT_GE(a.ar.deputy_id, 1u);
+      ASSERT_LE(a.ar.deputy_id, params.r);
+      ASSERT_LE(a.ar.counter, params.label_pool);
+    }
+  }
+};
+
+class TrajectoryProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrajectoryProperties, StateSpaceInvariantsHoldFromCleanStart) {
+  const std::uint64_t seed = GetParam();
+  const Params p = Params::make(24, 6);
+  const TrajectoryChecker checker{p};
+  ElectLeader protocol(p);
+  pp::Simulator<ElectLeader> sim(protocol, seed);
+  for (int round = 0; round < 300; ++round) {
+    sim.step(4 * p.n);
+    for (std::uint32_t i = 0; i < p.n; ++i) {
+      checker.check_state_space(sim.population()[i]);
+    }
+  }
+}
+
+TEST_P(TrajectoryProperties, StateSpaceInvariantsHoldFromRandomStart) {
+  const std::uint64_t seed = GetParam();
+  const Params p = Params::make(16, 4);
+  const TrajectoryChecker checker{p};
+  util::Rng gen(util::substream(seed, 9));
+  auto config = make_adversarial_config(p, Corruption::kRandomStates, gen);
+  ElectLeader protocol(p);
+  pp::Population<ElectLeader> pop(std::move(config));
+  pp::Simulator<ElectLeader> sim(protocol, std::move(pop), seed);
+  for (int round = 0; round < 300; ++round) {
+    sim.step(4 * p.n);
+    for (std::uint32_t i = 0; i < p.n; ++i) {
+      checker.check_state_space(sim.population()[i]);
+    }
+  }
+}
+
+TEST_P(TrajectoryProperties, MessagesNeverDuplicateFromCleanStart) {
+  // Observation 3 (App. E.1): started correctly, every (rank, ID) message
+  // exists at most once, for the whole run — even across soft resets the
+  // generation guard must prevent double circulation *within* interacting
+  // generations; globally we check uniqueness among same-generation agents.
+  const std::uint64_t seed = GetParam();
+  const Params p = Params::make(16, 8);
+  ElectLeader protocol(p);
+  pp::Simulator<ElectLeader> sim(protocol, seed);
+  for (int round = 0; round < 200; ++round) {
+    sim.step(2 * p.n);
+    // Check uniqueness per generation.
+    for (std::uint32_t gen = 0; gen < Params::kGenerations; ++gen) {
+      std::vector<std::vector<bool>> seen(p.n + 1);
+      for (std::uint32_t i = 0; i < p.n; ++i) {
+        const Agent& a = sim.population()[i];
+        if (a.role != Role::kVerifying || a.sv.generation != gen ||
+            a.sv.dc.error) {
+          continue;
+        }
+        const std::uint32_t group = p.group_of(a.rank);
+        const std::uint32_t begin = p.group_begin(group);
+        for (std::size_t k = 0; k < a.sv.dc.msgs.size(); ++k) {
+          auto& bitmap = seen[begin + k];
+          if (bitmap.empty()) bitmap.assign(p.ids_per_rank(group) + 1, false);
+          for (const Msg& m : a.sv.dc.msgs[k]) {
+            ASSERT_FALSE(bitmap[m.id])
+                << "duplicate message (" << begin + k << "," << m.id
+                << ") in generation " << gen << " at round " << round;
+            bitmap[m.id] = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TrajectoryProperties, RolesOnlyMoveThroughLegalTransitions) {
+  // Role graph: Resetting → Ranking (Reset), Ranking → Verifying (countdown
+  // or epidemic), {Ranking, Verifying} → Resetting (TriggerReset /
+  // infection).  Verifying → Ranking directly is illegal.
+  const std::uint64_t seed = GetParam();
+  const Params p = Params::make(16, 4);
+  util::Rng gen(util::substream(seed, 10));
+  auto config = make_adversarial_config(p, Corruption::kRandomStates, gen);
+  ElectLeader protocol(p);
+  pp::Population<ElectLeader> pop(std::move(config));
+  pp::Simulator<ElectLeader> sim(protocol, std::move(pop), seed);
+  std::vector<Role> prev;
+  for (std::uint32_t i = 0; i < p.n; ++i) {
+    prev.push_back(sim.population()[i].role);
+  }
+  for (int round = 0; round < 2000; ++round) {
+    sim.step(1);
+    for (std::uint32_t i = 0; i < p.n; ++i) {
+      const Role now = sim.population()[i].role;
+      if (prev[i] == Role::kVerifying) {
+        ASSERT_NE(now, Role::kRanking)
+            << "verifier became ranker without reset, agent " << i;
+      }
+      prev[i] = now;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrajectoryProperties,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Properties, CleanRunNeverRaisesTopBeforeSafety) {
+  // Lemma E.1(a) at the system level: from the clean start, no agent ever
+  // enters ⊤ (the ranking AssignRanks produces is correct w.h.p., and the
+  // collision detector must not false-positive on it).
+  const Params p = Params::make(32, 16);
+  ElectLeader protocol(p);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    pp::Simulator<ElectLeader> sim(protocol, seed);
+    bool safe = false;
+    for (int round = 0; round < 4000 && !safe; ++round) {
+      sim.step(p.n);
+      for (std::uint32_t i = 0; i < p.n; ++i) {
+        const Agent& a = sim.population()[i];
+        ASSERT_FALSE(a.role == Role::kVerifying && a.sv.dc.error)
+            << "seed " << seed;
+        ASSERT_NE(a.role, Role::kResetting) << "seed " << seed;
+      }
+      safe = is_safe_configuration(p, sim.population().states());
+    }
+    ASSERT_TRUE(safe) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ssle::core

@@ -1,0 +1,100 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace ssle::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound) << "bound=" << bound;
+    }
+  }
+}
+
+TEST(Rng, BelowZeroAndOneAreZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  // Chi-square with 15 dof; 99.9% quantile ≈ 37.7.
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.real();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.coin();
+  EXPECT_NEAR(heads / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, SubstreamsAreIndependentStreams) {
+  EXPECT_NE(substream(1, 0), substream(1, 1));
+  EXPECT_NE(substream(1, 0), substream(2, 0));
+  EXPECT_EQ(substream(5, 3), substream(5, 3));
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), a);
+  EXPECT_EQ(sm2.next(), b);
+}
+
+}  // namespace
+}  // namespace ssle::util

@@ -1,0 +1,109 @@
+#include "core/safety.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.hpp"
+#include "core/stable_verify.hpp"
+
+namespace ssle::core {
+namespace {
+
+TEST(Safety, SafeConfigIsSafe) {
+  const Params p = Params::make(16, 8);
+  const auto config = make_safe_config(p);
+  EXPECT_TRUE(ranking_correct(p, config));
+  EXPECT_TRUE(single_generation(config));
+  EXPECT_TRUE(message_system_consistent(p, config));
+  EXPECT_TRUE(is_safe_configuration(p, config));
+  EXPECT_EQ(leader_count(config), 1u);
+}
+
+TEST(Safety, DuplicateRankBreaksRanking) {
+  const Params p = Params::make(16, 8);
+  auto config = make_safe_config(p);
+  config[3].rank = config[5].rank;
+  EXPECT_FALSE(ranking_correct(p, config));
+  EXPECT_FALSE(is_safe_configuration(p, config));
+}
+
+TEST(Safety, RankerBreaksSafety) {
+  const Params p = Params::make(16, 8);
+  auto config = make_safe_config(p);
+  config[0].role = Role::kRanking;
+  EXPECT_FALSE(ranking_correct(p, config));
+  EXPECT_FALSE(single_generation(config));
+}
+
+TEST(Safety, MixedGenerationsBreakSingleGeneration) {
+  const Params p = Params::make(16, 8);
+  auto config = make_safe_config(p);
+  config[7].sv.generation = 1;
+  EXPECT_TRUE(ranking_correct(p, config));
+  EXPECT_FALSE(single_generation(config));
+  EXPECT_FALSE(is_safe_configuration(p, config));
+}
+
+TEST(Safety, CorruptedMessageBreaksConsistency) {
+  const Params p = Params::make(16, 8);
+  auto config = make_safe_config(p);
+  // Corrupt a circulating message held by agent 0 for some *other* rank.
+  auto& dc = config[0].sv.dc;
+  bool corrupted = false;
+  const std::uint32_t own_bucket = p.rank_in_group(config[0].rank) - 1;
+  for (std::size_t k = 0; k < dc.msgs.size() && !corrupted; ++k) {
+    if (k == own_bucket || dc.msgs[k].empty()) continue;
+    dc.msgs[k].front().content = 424242;
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(message_system_consistent(p, config));
+  EXPECT_FALSE(is_safe_configuration(p, config));
+}
+
+TEST(Safety, DuplicatedMessageBreaksConsistency) {
+  const Params p = Params::make(16, 8);
+  auto config = make_safe_config(p);
+  // Copy a message from agent 0 to agent 1 (same group by construction of
+  // adjacent ranks — pick two agents in one group).
+  const std::uint32_t g0 = p.group_of(config[0].rank);
+  std::size_t partner = 1;
+  while (partner < config.size() &&
+         p.group_of(config[partner].rank) != g0) {
+    ++partner;
+  }
+  ASSERT_LT(partner, config.size());
+  auto& from = config[0].sv.dc.msgs;
+  auto& to = config[partner].sv.dc.msgs;
+  ASSERT_FALSE(from[0].empty());
+  to[0].push_back(from[0].front());
+  std::sort(to[0].begin(), to[0].end());
+  EXPECT_FALSE(message_system_consistent(p, config));
+}
+
+TEST(Safety, ErrorStateBreaksConsistency) {
+  const Params p = Params::make(16, 8);
+  auto config = make_safe_config(p);
+  config[2].sv.dc.error = true;
+  EXPECT_FALSE(message_system_consistent(p, config));
+}
+
+TEST(Safety, LeaderCountCountsOnlyVerifierRankOne) {
+  const Params p = Params::make(8, 4);
+  auto config = make_safe_config(p);
+  EXPECT_EQ(leader_count(config), 1u);
+  config[0].role = Role::kRanking;  // rank-1 agent not verifying
+  EXPECT_EQ(leader_count(config), 0u);
+  config[0].role = Role::kVerifying;
+  config[1].rank = 1;  // second leader
+  EXPECT_EQ(leader_count(config), 2u);
+}
+
+TEST(Safety, WrongPopulationSizeRejected) {
+  const Params p = Params::make(16, 8);
+  auto config = make_safe_config(p);
+  config.pop_back();
+  EXPECT_FALSE(ranking_correct(p, config));
+}
+
+}  // namespace
+}  // namespace ssle::core

@@ -1,0 +1,82 @@
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.hpp"
+#include "core/elect_leader.hpp"
+
+namespace ssle::core {
+namespace {
+
+TEST(Snapshot, RoundTripsSafeConfig) {
+  const Params p = Params::make(16, 8);
+  const auto config = make_safe_config(p);
+  const std::string text = snapshot_write(p, config);
+  const auto parsed = snapshot_read(p, text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, config);
+}
+
+TEST(Snapshot, RoundTripsCleanStart) {
+  const Params p = Params::make(8, 2);
+  ElectLeader protocol(p);
+  std::vector<Agent> config;
+  for (std::uint32_t i = 0; i < p.n; ++i) {
+    config.push_back(protocol.initial_state(i));
+  }
+  const auto parsed = snapshot_read(p, snapshot_write(p, config));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, config);
+}
+
+class SnapshotCorruptions : public ::testing::TestWithParam<Corruption> {};
+
+TEST_P(SnapshotCorruptions, RoundTripsEveryCorruptionClass) {
+  const Params p = Params::make(12, 4);
+  util::Rng rng(5);
+  const auto config = make_adversarial_config(p, GetParam(), rng);
+  const auto parsed = snapshot_read(p, snapshot_write(p, config));
+  ASSERT_TRUE(parsed.has_value()) << corruption_name(GetParam());
+  EXPECT_EQ(*parsed, config) << corruption_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SnapshotCorruptions, ::testing::ValuesIn(all_corruptions()),
+    [](const ::testing::TestParamInfo<Corruption>& info) {
+      return corruption_name(info.param);
+    });
+
+TEST(Snapshot, RejectsWrongHeader) {
+  const Params p = Params::make(8, 2);
+  EXPECT_FALSE(snapshot_read(p, "garbage").has_value());
+  EXPECT_FALSE(snapshot_read(p, "").has_value());
+}
+
+TEST(Snapshot, RejectsMismatchedParameters) {
+  const Params p = Params::make(16, 8);
+  const auto text = snapshot_write(p, make_safe_config(p));
+  EXPECT_FALSE(snapshot_read(Params::make(16, 4), text).has_value());
+  EXPECT_FALSE(snapshot_read(Params::make(8, 4), text).has_value());
+}
+
+TEST(Snapshot, RejectsTruncatedInput) {
+  const Params p = Params::make(8, 4);
+  const auto text = snapshot_write(p, make_safe_config(p));
+  for (const double frac : {0.3, 0.7, 0.95}) {
+    const auto cut = text.substr(0, static_cast<std::size_t>(
+                                        text.size() * frac));
+    EXPECT_FALSE(snapshot_read(p, cut).has_value()) << frac;
+  }
+}
+
+TEST(Snapshot, RejectsCorruptedField) {
+  const Params p = Params::make(8, 4);
+  auto text = snapshot_write(p, make_safe_config(p));
+  const auto pos = text.find("role=");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "role=9");  // invalid role value
+  EXPECT_FALSE(snapshot_read(p, text).has_value());
+}
+
+}  // namespace
+}  // namespace ssle::core

@@ -1,0 +1,78 @@
+#include "core/state_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssle::core {
+namespace {
+
+TEST(StateSize, AllComponentsPositive) {
+  const Params p = Params::make(64, 8);
+  EXPECT_GT(bits_propagate_reset(p), 0.0);
+  EXPECT_GT(bits_fast_leader_elect(p), 0.0);
+  EXPECT_GT(bits_assign_ranks(p), 0.0);
+  EXPECT_GT(bits_detect_collision(p), 0.0);
+  EXPECT_GT(bits_stable_verify(p), bits_detect_collision(p));
+  EXPECT_GT(bits_elect_leader(p), bits_stable_verify(p));
+}
+
+TEST(StateSize, DetectCollisionGrowsWithR) {
+  // Fig. 3 / Thm 1.1: bit complexity O(r² log n) — strictly increasing in r.
+  const std::uint32_t n = 256;
+  double prev = 0.0;
+  for (std::uint32_t r : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const double bits = bits_detect_collision(Params::make(n, r));
+    EXPECT_GT(bits, prev) << "r=" << r;
+    prev = bits;
+  }
+}
+
+TEST(StateSize, QuadraticInRShape) {
+  // bits(r) / r² should be within a ~log factor across the r range.
+  const std::uint32_t n = 1024;
+  const double at8 = bits_detect_collision(Params::make(n, 8)) / 64.0;
+  const double at256 = bits_detect_collision(Params::make(n, 256)) / 65536.0;
+  EXPECT_LT(at256 / at8, 8.0);
+  EXPECT_GT(at256 / at8, 1.0 / 8.0);
+}
+
+TEST(StateSize, TradeoffAgainstSsrBaseline) {
+  // §1: with r = polylog(n) the protocol uses a sub-exponential
+  // (polylog-bit) number of states while the name-set baseline needs
+  // Θ(n log n) bits.  The polylog-vs-n·log crossover sits beyond n ≈ 10⁵,
+  // so evaluate the (closed-form) bit counts at n = 2²⁰.
+  const std::uint32_t n = 1u << 20;
+  const auto L = static_cast<std::uint32_t>(std::log2(n));
+  const std::uint32_t r_polylog = L * L;  // r = log² n
+  const double el = bits_elect_leader(Params::make(n, r_polylog));
+  const double ssr = bits_ssr_baseline(n);
+  EXPECT_LT(el, ssr / 2.0) << "el=" << el << " ssr=" << ssr;
+}
+
+TEST(StateSize, CiwIsLogarithmic) {
+  EXPECT_NEAR(bits_ciw(1024), 10.0, 1e-9);
+  EXPECT_LT(bits_ciw(1 << 20), 21.0);
+}
+
+TEST(StateSize, SsrBaselineIsNLogN) {
+  const double b1 = bits_ssr_baseline(256);
+  const double b2 = bits_ssr_baseline(512);
+  // Doubling n should roughly double (×~2.1) the bits.
+  EXPECT_GT(b2 / b1, 1.8);
+  EXPECT_LT(b2 / b1, 2.5);
+}
+
+TEST(StateSize, ElectLeaderMonotoneInN) {
+  for (std::uint32_t r : {2u, 8u}) {
+    double prev = 0.0;
+    for (std::uint32_t n : {32u, 64u, 128u, 256u}) {
+      const double bits = bits_elect_leader(Params::make(n, r));
+      EXPECT_GT(bits, prev);
+      prev = bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssle::core

@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ssle::util {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> xs{3.5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 10.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+}
+
+TEST(Ci95, ShrinksWithSampleSize) {
+  Summary small;
+  small.count = 4;
+  small.stddev = 2.0;
+  Summary large;
+  large.count = 400;
+  large.stddev = 2.0;
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(large));
+  Summary one;
+  one.count = 1;
+  EXPECT_EQ(ci95_halfwidth(one), 0.0);
+}
+
+TEST(FitScale, RecoversExactScale) {
+  std::vector<double> xs, ys;
+  for (double x = 2; x <= 100; x += 7) {
+    xs.push_back(x);
+    ys.push_back(4.25 * model_nlogn(x));
+  }
+  const double c = fit_scale(xs, ys, model_nlogn);
+  EXPECT_NEAR(c, 4.25, 1e-9);
+  EXPECT_NEAR(fit_r2(xs, ys, model_nlogn, c), 1.0, 1e-9);
+}
+
+TEST(FitScale, R2DegradesForWrongModel) {
+  std::vector<double> xs, ys;
+  for (double x = 2; x <= 200; x += 3) {
+    xs.push_back(x);
+    ys.push_back(2.0 * model_n2(x));
+  }
+  const double c_right = fit_scale(xs, ys, model_n2);
+  const double c_wrong = fit_scale(xs, ys, model_identity);
+  EXPECT_GT(fit_r2(xs, ys, model_n2, c_right),
+            fit_r2(xs, ys, model_identity, c_wrong));
+}
+
+TEST(FitPower, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 2; x <= 300; x *= 1.5) {
+    xs.push_back(x);
+    ys.push_back(0.7 * std::pow(x, 1.8));
+  }
+  const PowerFit fit = fit_power(xs, ys);
+  EXPECT_NEAR(fit.exponent, 1.8, 1e-6);
+  EXPECT_NEAR(fit.scale, 0.7, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitPower, DegenerateInputsYieldZero) {
+  const PowerFit fit = fit_power({}, {});
+  EXPECT_EQ(fit.scale, 0.0);
+  EXPECT_EQ(fit.exponent, 0.0);
+}
+
+TEST(Models, SaneAtSmallArguments) {
+  EXPECT_DOUBLE_EQ(model_nlogn(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(model_logn(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(model_n2(3.0), 9.0);
+  EXPECT_GT(model_n2logn(10.0), model_n2(10.0));
+}
+
+}  // namespace
+}  // namespace ssle::util

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace ssle::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"n", "time"});
+  t.add_row({"8", "1.5"});
+  t.add_row({"1024", "123.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("1024"), std::string::npos);
+  EXPECT_NE(out.find("123.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "CSV,a,b\nCSV,1,2\n");
+}
+
+TEST(Table, RaggedRowsTolerated) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3", "4"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt_int(-42), "-42");
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=128", "--verbose", "pos1", "--x=2.5"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, FallbacksUsedWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_EQ(cli.get_string("mode", "fast"), "fast");
+}
+
+}  // namespace
+}  // namespace ssle::util

@@ -1,0 +1,78 @@
+#include "analysis/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/measure.hpp"
+#include "core/adversary.hpp"
+#include "core/elect_leader.hpp"
+#include "pp/simulator.hpp"
+
+namespace ssle::analysis {
+namespace {
+
+using core::Params;
+
+Trace trace_clean_run(const Params& p, std::uint64_t seed,
+                      std::uint64_t horizon) {
+  core::ElectLeader protocol(p);
+  pp::Simulator<core::ElectLeader> sim(protocol, seed);
+  Trace trace(p);
+  trace.record(0, sim.population().states());
+  while (sim.interactions() < horizon) {
+    sim.step(p.n);
+    trace.record(sim.interactions(), sim.population().states());
+  }
+  return trace;
+}
+
+TEST(Trace, CleanRunMilestonesAreOrdered) {
+  const Params p = Params::make(16, 8);
+  const Trace trace = trace_clean_run(p, 3, default_budget(p));
+  ASSERT_TRUE(trace.first_verifier().has_value());
+  ASSERT_TRUE(trace.all_verifiers().has_value());
+  ASSERT_TRUE(trace.first_safe().has_value());
+  EXPECT_LE(*trace.first_verifier(), *trace.all_verifiers());
+  EXPECT_LE(*trace.all_verifiers(), *trace.first_safe());
+  EXPECT_EQ(trace.reset_waves(), 0u);  // clean runs never reset (w.h.p.)
+}
+
+TEST(Trace, EmptyTraceHasNoMilestones) {
+  Trace trace(Params::make(8, 2));
+  EXPECT_FALSE(trace.first_verifier().has_value());
+  EXPECT_FALSE(trace.first_safe().has_value());
+  EXPECT_EQ(trace.reset_waves(), 0u);
+}
+
+TEST(Trace, ResetWavesCounted) {
+  const Params p = Params::make(16, 8);
+  core::ElectLeader protocol(p);
+  util::Rng gen(7);
+  auto config =
+      core::make_adversarial_config(p, core::Corruption::kDuplicateRanks, gen);
+  pp::Population<core::ElectLeader> pop(std::move(config));
+  pp::Simulator<core::ElectLeader> sim(protocol, std::move(pop), 8);
+  Trace trace(p);
+  const std::uint64_t horizon = 8 * default_budget(p);
+  bool safe_seen = false;
+  while (sim.interactions() < horizon && !safe_seen) {
+    sim.step(p.n / 2);
+    trace.record(sim.interactions(), sim.population().states());
+    safe_seen = trace.first_safe().has_value();
+  }
+  ASSERT_TRUE(safe_seen);
+  EXPECT_GE(trace.reset_waves(), 1u);  // duplicates force a hard reset
+}
+
+TEST(Trace, SummaryMentionsAllMilestones) {
+  const Params p = Params::make(16, 8);
+  const Trace trace = trace_clean_run(p, 3, default_budget(p));
+  const std::string text = trace.summary();
+  EXPECT_NE(text.find("first verifier"), std::string::npos);
+  EXPECT_NE(text.find("all verifiers"), std::string::npos);
+  EXPECT_NE(text.find("first safe"), std::string::npos);
+  EXPECT_NE(text.find("reset waves"), std::string::npos);
+  EXPECT_EQ(text.find("never"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssle::analysis
