@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/safety.hpp"
+#include "pp/batched_simulator.hpp"
 #include "pp/simulator.hpp"
 
 namespace ssle::analysis {
@@ -47,6 +48,28 @@ StabilizationResult stabilize_clean(const core::Params& params,
     config.push_back(protocol.initial_state(i));
   }
   return stabilize_from(params, std::move(config), seed, max_interactions);
+}
+
+StabilizationResult stabilize_clean_batched(const core::Params& params,
+                                            std::uint64_t seed,
+                                            std::uint64_t max_interactions) {
+  core::ElectLeader protocol(params);
+  pp::BatchedSimulator<core::ElectLeader> sim(protocol, seed);
+
+  const auto probe = [&](const pp::CountsConfiguration<core::ElectLeader>& c,
+                         std::uint64_t) {
+    return core::is_safe_configuration(params, c.to_states());
+  };
+  const auto run = sim.run_until(probe, max_interactions,
+                                 /*probe_every=*/params.n);
+
+  StabilizationResult res;
+  res.converged = run.converged;
+  res.interactions = run.interactions;
+  res.parallel_time = run.parallel_time(params.n);
+  res.leaders = static_cast<std::uint32_t>(
+      sim.config().count_if(core::ElectLeader::is_leader));
+  return res;
 }
 
 StabilizationResult stabilize_adversarial(const core::Params& params,

@@ -37,6 +37,17 @@ StabilizationResult stabilize_from(const core::Params& params,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions);
 
+/// Same measurement as stabilize_clean but on the count-based batched
+/// engine (pp/batched_simulator.hpp).  Statistically equivalent to the
+/// naive engine.  Note: ElectLeader_r has ≥ n distinct live states once
+/// ranks spread (and core::Agent uses the registry's linear-scan path),
+/// so this is NOT faster than stabilize_clean today — it exists for
+/// engine cross-validation at small n; see the ROADMAP item on hashing
+/// core::Agent before using it at scale.
+StabilizationResult stabilize_clean_batched(const core::Params& params,
+                                            std::uint64_t seed,
+                                            std::uint64_t max_interactions);
+
 /// A generous default interaction budget for (n, r):
 /// c · (n²/r) · log n, scaled to dominate the protocol's constants.
 std::uint64_t default_budget(const core::Params& params);

@@ -1,0 +1,111 @@
+#include "pp/batched_simulator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace ssle::pp {
+namespace {
+
+/// ln k!: exact table for small k, Stirling's series beyond (absolute
+/// error < 1e-18 at k ≥ 1024 — below double rounding).  ~10x faster than
+/// lgamma, which dominates hypergeometric sampling otherwise.
+double log_factorial(std::uint64_t k) {
+  static const std::array<double, 1024> small = [] {
+    std::array<double, 1024> t{};
+    double acc = 0.0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      acc += std::log(static_cast<double>(i));
+      t[i] = acc;
+    }
+    return t;
+  }();
+  if (k < small.size()) return small[k];
+  const double x = static_cast<double>(k);
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  return (x + 0.5) * std::log(x) - x + 0.91893853320467274178 /* ln√(2π) */
+         + inv * (1.0 / 12.0) - inv * inv2 * (1.0 / 360.0) +
+         inv * inv2 * inv2 * (1.0 / 1260.0);
+}
+
+/// log C(n, r).
+double log_choose(std::uint64_t n, std::uint64_t r) {
+  return log_factorial(n) - log_factorial(r) - log_factorial(n - r);
+}
+
+}  // namespace
+
+std::uint64_t sample_hypergeometric(util::Rng& rng, std::uint64_t total,
+                                    std::uint64_t successes,
+                                    std::uint64_t draws) {
+  if (draws == 0 || successes == 0) return 0;
+  if (successes == total) return draws;
+  if (draws == total) return successes;
+
+  // Support [lo, hi] of the pmf.
+  const std::uint64_t lo =
+      draws + successes > total ? draws + successes - total : 0;
+  const std::uint64_t hi = std::min(draws, successes);
+  if (lo == hi) return lo;
+
+  // Inverse transform expanding outward from the mode, using the pmf
+  // recurrence p(k+1)/p(k) = (K-k)(m-k) / ((k+1)(N-K-m+k+1)); expected
+  // number of visited support points is O(standard deviation).
+  const double N = static_cast<double>(total);
+  const double K = static_cast<double>(successes);
+  const double M = static_cast<double>(draws);
+  std::uint64_t mode =
+      static_cast<std::uint64_t>((M + 1.0) * (K + 1.0) / (N + 2.0));
+  mode = std::clamp(mode, lo, hi);
+
+  const double log_pmode = log_choose(successes, mode) +
+                           log_choose(total - successes, draws - mode) -
+                           log_choose(total, draws);
+  double u = rng.real();
+  const double p_mode = std::exp(log_pmode);
+  u -= p_mode;
+  if (u < 0.0) return mode;
+
+  double p_up = p_mode;
+  double p_down = p_mode;
+  std::uint64_t k_up = mode;
+  std::uint64_t k_down = mode;
+  while (k_up < hi || k_down > lo) {
+    if (k_up < hi) {
+      const double k = static_cast<double>(k_up);
+      p_up *= (K - k) * (M - k) / ((k + 1.0) * (N - K - M + k + 1.0));
+      ++k_up;
+      u -= p_up;
+      if (u < 0.0) return k_up;
+    }
+    if (k_down > lo) {
+      const double k = static_cast<double>(k_down);
+      p_down *= k * (N - K - M + k) / ((K - k + 1.0) * (M - k + 1.0));
+      --k_down;
+      u -= p_down;
+      if (u < 0.0) return k_down;
+    }
+  }
+  // Floating-point residue (Σ pmf ≈ 1 - ε): attribute it to the mode.
+  return mode;
+}
+
+void sample_multivariate_hypergeometric(
+    util::Rng& rng, const std::vector<std::uint64_t>& counts,
+    std::uint64_t draws, std::vector<std::uint64_t>& out) {
+  out.assign(counts.size(), 0);
+  std::uint64_t remaining_total = 0;
+  for (const std::uint64_t c : counts) remaining_total += c;
+  std::uint64_t remaining_draws = draws;
+  for (std::size_t i = 0; i < counts.size() && remaining_draws > 0; ++i) {
+    const std::uint64_t k = sample_hypergeometric(
+        rng, remaining_total, counts[i], remaining_draws);
+    out[i] = k;
+    remaining_draws -= k;
+    remaining_total -= counts[i];
+  }
+  return;
+}
+
+}  // namespace ssle::pp

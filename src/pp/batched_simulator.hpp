@@ -1,0 +1,350 @@
+// Batched count-based simulation engine.
+//
+// The naive Simulator advances one interaction at a time over a length-n
+// agent array; at n = 10^6+ every interaction costs two random-access cache
+// misses.  BatchedSimulator instead advances the CountsConfiguration (the
+// exact Markov projection of the configuration, see pp/counts.hpp) a whole
+// *collision-free block* at a time:
+//
+//   1. Sample T, the index of the first interaction that reuses an agent
+//      already touched in this block (inverse-transform over the exact
+//      birthday survival probabilities ∏ (n-2t)(n-2t-1)/(n(n-1))).
+//   2. The L = T-1 collision-free interactions involve 2L *distinct* agents
+//      drawn uniformly without replacement, so their states are a
+//      multivariate hypergeometric draw from the counts; splitting them
+//      into initiators/responders and matching the two multisets are again
+//      sequential hypergeometric draws.  Each ordered state-pair type
+//      (A, B) with multiplicity m is then applied m times — or exactly
+//      once, with the counts updated in bulk, when the protocol declares
+//      `static constexpr bool kDeterministicInteract = true`.
+//   3. The colliding interaction T is executed individually: conditioned on
+//      "at least one participant was already used", the pair is sampled
+//      from the tracked used/unused multisets, which is exact because agent
+//      identities are exchangeable given the counts.
+//
+// Blocks are stopping times of the counts chain, so chaining them (and
+// truncating a block at a probe boundary) reproduces the sequential
+// process's distribution exactly — BatchedSimulator and Simulator are
+// statistically indistinguishable, which tests/test_batched_simulator.cpp
+// checks empirically.  Expected block length is Θ(√n), so per-interaction
+// cost is a couple of floating-point ops plus O(q²/√n) amortized sampling
+// work — no O(n) array, no cache misses.
+//
+// The API mirrors Simulator (`step`, `run_until`, RunResult, probe
+// semantics); predicates observe the CountsConfiguration instead of the
+// Population.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "pp/counts.hpp"
+#include "pp/protocol.hpp"
+#include "pp/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ssle::pp {
+
+/// Exact draw from Hypergeometric(total, successes, draws): the number of
+/// "success" items in `draws` draws without replacement from a population
+/// of `total` items containing `successes` successes.  Mode-centered
+/// inverse transform; expected O(σ) work.
+std::uint64_t sample_hypergeometric(util::Rng& rng, std::uint64_t total,
+                                    std::uint64_t successes,
+                                    std::uint64_t draws);
+
+/// Exact multivariate hypergeometric draw: out[i] items of class i when
+/// drawing `draws` items without replacement from class sizes `counts`.
+/// `out` is resized to counts.size(); Σ out == draws.
+void sample_multivariate_hypergeometric(util::Rng& rng,
+                                        const std::vector<std::uint64_t>& counts,
+                                        std::uint64_t draws,
+                                        std::vector<std::uint64_t>& out);
+
+/// True when P declares its transition function deterministic (consumes no
+/// randomness), enabling the bulk same-pair-type fast path.  Declaring this
+/// on a protocol whose δ *does* draw from the Rng silently biases results.
+template <typename P>
+inline constexpr bool kBatchDeterministic = [] {
+  if constexpr (requires {
+                  { P::kDeterministicInteract } -> std::convertible_to<bool>;
+                }) {
+    return static_cast<bool>(P::kDeterministicInteract);
+  } else {
+    return false;
+  }
+}();
+
+template <Protocol P>
+class BatchedSimulator {
+ public:
+  using State = typename P::State;
+  using Config = CountsConfiguration<P>;
+  using Predicate =
+      std::function<bool(const Config&, std::uint64_t /*interactions*/)>;
+
+  BatchedSimulator(const P& protocol, Config config, std::uint64_t seed)
+      : protocol_(protocol),
+        config_(std::move(config)),
+        rng_(util::substream(seed, 1)),
+        agent_rng_(util::substream(seed, 2)) {}
+
+  BatchedSimulator(const P& protocol, std::uint64_t seed)
+      : BatchedSimulator(protocol, Config(protocol), seed) {}
+
+  /// Executes exactly `count` interactions.  With fewer than two agents no
+  /// pair exists and no interaction can change the configuration; steps
+  /// are counted (so run_until terminates) but are no-ops.
+  void step(std::uint64_t count = 1) {
+    if (config_.population_size() < 2) {
+      interactions_ += count;
+      return;
+    }
+    std::uint64_t done = 0;
+    while (done < count) {
+      done += run_block(count - done);
+      maybe_compact();
+    }
+    interactions_ += count;
+  }
+
+  /// Same contract as Simulator::run_until: probes at multiples of
+  /// `probe_every` interactions (default n), plus once up front.
+  RunResult run_until(const Predicate& done, std::uint64_t max_interactions,
+                      std::uint64_t probe_every = 0) {
+    if (probe_every == 0) {
+      probe_every = std::max<std::uint64_t>(1, config_.population_size());
+    }
+    if (done(config_, interactions_)) {
+      return {interactions_, true};
+    }
+    const std::uint64_t limit = interactions_ + max_interactions;
+    while (interactions_ < limit) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(probe_every, limit - interactions_);
+      step(chunk);
+      if (done(config_, interactions_)) {
+        return {interactions_, true};
+      }
+    }
+    return {interactions_, false};
+  }
+
+  std::uint64_t interactions() const { return interactions_; }
+  Config& config() { return config_; }
+  const Config& config() const { return config_; }
+  const P& protocol() const { return protocol_; }
+
+ private:
+  /// Builds log P(T > t), the log-survival of the first-collision time T,
+  /// at every t: ∏_{s<t} (n-2s)(n-2s-1)/(n(n-1)).  Entries stop below
+  /// -40 < log(2^-53), the log of the smallest positive value real() can
+  /// produce, so every inverse-transform draw resolves inside the table.
+  /// Length is Θ(√n); built once (interactions conserve agents, so n is
+  /// fixed for the simulator's lifetime).
+  void build_survival_table() {
+    const std::uint64_t n = config_.population_size();
+    const double log_denom = std::log(static_cast<double>(n)) +
+                             std::log(static_cast<double>(n - 1));
+    log_survival_.clear();
+    log_survival_.push_back(0.0);  // P(T > 0) = 1
+    double acc = 0.0;
+    for (std::uint64_t t = 0; acc > -40.0; ++t) {
+      const std::uint64_t used = 2 * t;
+      if (n < used + 2) break;  // survival hits exactly 0: all agents used
+      acc += std::log(static_cast<double>(n - used)) +
+             std::log(static_cast<double>(n - used - 1)) - log_denom;
+      log_survival_.push_back(acc);
+    }
+  }
+
+  /// Runs one block of at most `cap` interactions; returns how many ran.
+  std::uint64_t run_block(std::uint64_t cap) {
+    const std::uint64_t n = config_.population_size();
+
+    // 1. First-collision time T via inverse transform on the precomputed
+    // log-survival table: T is the smallest t with log P(T > t) ≤ log u.
+    // L is the collision-free prefix (T ≥ 2 always: the first step cannot
+    // collide).  Not finding T within the first cap entries means the
+    // block is cut collision-free at the cap.
+    if (log_survival_.empty()) build_survival_table();
+    std::uint64_t L = cap;
+    bool collided = false;
+    {
+      double u = rng_.real();
+      if (u <= 0.0) u = 0x1.0p-53;  // real() granularity; log(0) guard
+      const double lu = std::log(u);
+      const auto begin = log_survival_.begin();
+      // Search indices t = 0 .. min(cap, last table index).
+      const std::size_t entries =
+          static_cast<std::size_t>(std::min<std::uint64_t>(
+              cap, log_survival_.size() - 1)) + 1;
+      const auto end = begin + entries;
+      const auto it = std::lower_bound(
+          begin, end, lu, [](double s, double target) { return s > target; });
+      if (it != end) {
+        // Found the first t ≤ cap with S_t ≤ u: collision at step t.
+        collided = true;
+        L = static_cast<std::uint64_t>(it - begin) - 1;
+      } else if (cap >= log_survival_.size()) {
+        // The whole table survived the draw but the process walked off its
+        // end, where survival is exactly 0 (all agents used): the very
+        // next step must collide.
+        collided = true;
+        L = log_survival_.size() - 1;
+      }
+    }
+
+    const std::uint32_t q = config_.num_states();
+    if (used_.size() < q) used_.resize(q, 0);
+
+    // 2. Collision-free block: 2L distinct agents without replacement.
+    if (L > 0) {
+      sample_multivariate_hypergeometric(rng_, config_.counts(), 2 * L, k_);
+      for (std::uint32_t i = 0; i < q; ++i) {
+        if (k_[i] > 0) config_.remove_at(i, k_[i]);
+      }
+      sample_multivariate_hypergeometric(rng_, k_, L, init_);
+      resp_.assign(k_.begin(), k_.end());
+      for (std::uint32_t i = 0; i < q; ++i) resp_[i] -= init_[i];
+      for (std::uint32_t a = 0; a < q; ++a) {
+        if (init_[a] == 0) continue;
+        sample_multivariate_hypergeometric(rng_, resp_, init_[a], match_);
+        for (std::uint32_t b = 0; b < q; ++b) {
+          if (match_[b] == 0) continue;
+          resp_[b] -= match_[b];
+          apply_pair_type(a, b, match_[b]);
+        }
+      }
+    }
+
+    // 3. Colliding interaction: at least one participant is among the 2L
+    // used agents.  Sample which side(s), then the states from the used /
+    // unused multisets (agents are exchangeable given the counts).
+    if (collided) {
+      const std::uint64_t used_total = 2 * L;
+      const std::uint64_t unused_total = n - used_total;
+      const std::uint64_t w_uu = used_total * (used_total - 1);
+      const std::uint64_t w_ux = used_total * unused_total;
+      const std::uint64_t w_xu = unused_total * used_total;
+      const std::uint64_t pick = rng_.below(w_uu + w_ux + w_xu);
+      const bool init_used = pick < w_uu + w_ux;
+      const bool resp_used = pick < w_uu || pick >= w_uu + w_ux;
+
+      const std::uint32_t ai =
+          init_used ? draw_used(used_total) : draw_unused(unused_total);
+      std::uint32_t bi;
+      if (init_used && resp_used) {
+        // Same pool: draw the responder without replacement.
+        used_[ai] -= 1;
+        bi = draw_used(used_total - 1);
+        used_[ai] += 1;
+      } else if (resp_used) {
+        bi = draw_used(used_total);
+      } else {
+        bi = draw_unused(unused_total);  // disjoint from the used initiator
+      }
+
+      State sa = config_.state(ai);
+      State sb = config_.state(bi);
+      config_.remove_at(ai, 1);
+      config_.remove_at(bi, 1);
+      protocol_.interact(sa, sb, agent_rng_);
+      config_.add(sa, 1);
+      config_.add(sb, 1);
+    }
+
+    std::fill(used_.begin(), used_.end(), 0);
+    return L + (collided ? 1 : 0);
+  }
+
+  /// Applies δ to `m` pairs whose (initiator, responder) states are the
+  /// registry entries (a, b).  The 2m agents were already removed from the
+  /// counts; outputs are added back and tracked in the used multiset.
+  void apply_pair_type(std::uint32_t a, std::uint32_t b, std::uint64_t m) {
+    // Copy by value: record_output may grow the registry and invalidate
+    // references into it.
+    const State proto_a = config_.state(a);
+    const State proto_b = config_.state(b);
+    if constexpr (kBatchDeterministic<P>) {
+      State sa = proto_a;
+      State sb = proto_b;
+      protocol_.interact(sa, sb, agent_rng_);
+      record_output(sa, m);
+      record_output(sb, m);
+    } else {
+      for (std::uint64_t i = 0; i < m; ++i) {
+        State sa = proto_a;
+        State sb = proto_b;
+        protocol_.interact(sa, sb, agent_rng_);
+        record_output(sa, 1);
+        record_output(sb, 1);
+      }
+    }
+  }
+
+  /// Long runs leave behind zero-count registry entries (states the
+  /// population moved through); once they dominate, drop them so the O(q)
+  /// sampling scans track the number of *live* states.  Safe between
+  /// blocks because all block-local indices (used_, scratch) are dead.
+  void maybe_compact() {
+    const std::uint32_t q = config_.num_states();
+    if (q < 32) return;
+    std::uint32_t live = 0;
+    for (std::uint32_t i = 0; i < q; ++i) live += config_.count(i) > 0;
+    if (2 * live <= q) {
+      config_.compact();
+      used_.assign(config_.num_states(), 0);
+    }
+  }
+
+  void record_output(const State& s, std::uint64_t m) {
+    const std::uint32_t idx = config_.add(s, m);
+    if (used_.size() <= idx) used_.resize(idx + 1, 0);
+    used_[idx] += m;
+  }
+
+  /// Uniform state draw from the used multiset (total must be its size).
+  std::uint32_t draw_used(std::uint64_t total) {
+    std::uint64_t pos = rng_.below(total);
+    for (std::uint32_t i = 0; i < used_.size(); ++i) {
+      if (pos < used_[i]) return i;
+      pos -= used_[i];
+    }
+    return static_cast<std::uint32_t>(used_.size() - 1);  // unreachable
+  }
+
+  /// Uniform state draw from the unused multiset (counts minus used).
+  std::uint32_t draw_unused(std::uint64_t total) {
+    std::uint64_t pos = rng_.below(total);
+    const std::uint32_t q = config_.num_states();
+    for (std::uint32_t i = 0; i < q; ++i) {
+      const std::uint64_t c =
+          config_.count(i) - (i < used_.size() ? used_[i] : 0);
+      if (pos < c) return i;
+      pos -= c;
+    }
+    return q - 1;  // unreachable
+  }
+
+  P protocol_;
+  Config config_;
+  util::Rng rng_;        ///< scheduler randomness (block structure, pairs)
+  util::Rng agent_rng_;  ///< transition-function randomness
+  std::uint64_t interactions_ = 0;
+
+  std::vector<double> log_survival_;  ///< log P(first collision > t), Θ(√n)
+
+  // Scratch buffers, indexed like the registry.
+  std::vector<std::uint64_t> used_;   ///< post-states of this block's agents
+  std::vector<std::uint64_t> k_;      ///< sampled state totals (2L agents)
+  std::vector<std::uint64_t> init_;   ///< initiator split
+  std::vector<std::uint64_t> resp_;   ///< responder pool (consumed)
+  std::vector<std::uint64_t> match_;  ///< per-initiator-state matching
+};
+
+}  // namespace ssle::pp

@@ -1,0 +1,177 @@
+// Count-based configuration: the multiset view of C ∈ Q^n.
+//
+// The uniform scheduler is oblivious to agent identity and every protocol's
+// transition depends only on the two interacting *states*, so the projection
+// of the configuration onto state counts is itself a Markov chain
+// (lumpability).  `CountsConfiguration` stores that projection as a dense
+// state→count registry discovered on the fly: a vector of distinct states,
+// a parallel vector of counts, and (when the state type is hashable) a hash
+// index for O(1) lookups.  Non-hashable state types (e.g. core::Agent) fall
+// back to linear scans over the distinct states, which is exact but only
+// sensible when the number of *distinct* states is small.
+//
+// This is the representation the batched engine (pp/batched_simulator.hpp)
+// advances with hypergeometric draws; at n = 10^6+ it replaces a
+// multi-megabyte agent array with a handful of counters.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+
+namespace ssle::pp {
+
+/// True when std::hash is specialized for T (enables the hash index).
+template <typename T>
+concept HashableState = requires(const T& t) {
+  { std::hash<T>{}(t) } -> std::convertible_to<std::size_t>;
+};
+
+template <Protocol P>
+class CountsConfiguration {
+ public:
+  using State = typename P::State;
+
+  /// Clean initial configuration defined by the protocol.
+  explicit CountsConfiguration(const P& protocol) {
+    for (std::uint32_t i = 0; i < protocol.population_size(); ++i) {
+      add(protocol.initial_state(i), 1);
+    }
+  }
+
+  /// Projection of an explicit configuration (adversarial starts, interop).
+  explicit CountsConfiguration(const std::vector<State>& states) {
+    for (const State& s : states) add(s, 1);
+  }
+
+  explicit CountsConfiguration(const Population<P>& population)
+      : CountsConfiguration(population.states()) {}
+
+  /// Total number of agents n (the multiset cardinality).
+  std::uint64_t population_size() const { return total_; }
+
+  /// Number of registered distinct states (zero-count entries included
+  /// until compact() is called).
+  std::uint32_t num_states() const {
+    return static_cast<std::uint32_t>(states_.size());
+  }
+
+  const State& state(std::uint32_t idx) const { return states_[idx]; }
+  std::uint64_t count(std::uint32_t idx) const { return counts_[idx]; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Count of a state, 0 if it was never registered.
+  std::uint64_t count_of(const State& s) const {
+    if constexpr (HashableState<State>) {
+      const auto it = index_.find(s);
+      return it == index_.end() ? 0 : counts_[it->second];
+    } else {
+      for (std::uint32_t i = 0; i < states_.size(); ++i) {
+        if (states_[i] == s) return counts_[i];
+      }
+      return 0;
+    }
+  }
+
+  /// Index of a state, registering it (with count 0) if new.
+  std::uint32_t index_of(const State& s) {
+    if constexpr (HashableState<State>) {
+      const auto [it, inserted] =
+          index_.try_emplace(s, static_cast<std::uint32_t>(states_.size()));
+      if (inserted) {
+        states_.push_back(s);
+        counts_.push_back(0);
+      }
+      return it->second;
+    } else {
+      for (std::uint32_t i = 0; i < states_.size(); ++i) {
+        if (states_[i] == s) return i;
+      }
+      states_.push_back(s);
+      counts_.push_back(0);
+      return static_cast<std::uint32_t>(states_.size() - 1);
+    }
+  }
+
+  /// Adds k agents in state s; returns the state's index.
+  std::uint32_t add(const State& s, std::uint64_t k) {
+    const std::uint32_t idx = index_of(s);
+    counts_[idx] += k;
+    total_ += k;
+    return idx;
+  }
+
+  /// Removes k agents from the state at idx (k must not exceed the count).
+  void remove_at(std::uint32_t idx, std::uint64_t k) {
+    assert(counts_[idx] >= k);
+    counts_[idx] -= k;
+    total_ -= k;
+  }
+
+  /// Applies f(state, count) to every state with a nonzero count.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::uint32_t i = 0; i < states_.size(); ++i) {
+      if (counts_[i] > 0) f(states_[i], counts_[i]);
+    }
+  }
+
+  /// Number of agents whose state satisfies pred.
+  template <typename Pred>
+  std::uint64_t count_if(Pred&& pred) const {
+    std::uint64_t k = 0;
+    for (std::uint32_t i = 0; i < states_.size(); ++i) {
+      if (counts_[i] > 0 && pred(states_[i])) k += counts_[i];
+    }
+    return k;
+  }
+
+  /// Expands back to a flat configuration (state order is registry order;
+  /// any agent labelling is valid because counts determine the dynamics).
+  std::vector<State> to_states() const {
+    std::vector<State> out;
+    out.reserve(total_);
+    for (std::uint32_t i = 0; i < states_.size(); ++i) {
+      for (std::uint64_t j = 0; j < counts_[i]; ++j) out.push_back(states_[i]);
+    }
+    return out;
+  }
+
+  Population<P> to_population() const { return Population<P>(to_states()); }
+
+  /// Drops zero-count registry entries and rebuilds the index.  Invalidates
+  /// previously obtained indices.
+  void compact() {
+    std::vector<State> states;
+    std::vector<std::uint64_t> counts;
+    for (std::uint32_t i = 0; i < states_.size(); ++i) {
+      if (counts_[i] > 0) {
+        states.push_back(std::move(states_[i]));
+        counts.push_back(counts_[i]);
+      }
+    }
+    states_ = std::move(states);
+    counts_ = std::move(counts);
+    if constexpr (HashableState<State>) {
+      index_.clear();
+      for (std::uint32_t i = 0; i < states_.size(); ++i) index_[states_[i]] = i;
+    }
+  }
+
+ private:
+  struct Empty {};
+  std::vector<State> states_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  [[no_unique_address]] std::conditional_t<
+      HashableState<State>, std::unordered_map<State, std::uint32_t>, Empty>
+      index_;
+};
+
+}  // namespace ssle::pp

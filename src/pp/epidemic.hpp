@@ -1,0 +1,29 @@
+// One-way epidemic toy protocol (Lemma A.2's primitive): state 1 infects
+// state 0 in every interaction it takes part in.  Used as the canonical
+// two-state workload for engine tests and the batched-vs-naive benchmark;
+// completes within c_epi · n · log n interactions w.h.p. (c_epi < 7).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ssle::pp {
+
+struct Epidemic {
+  using State = int;  ///< 0 = susceptible, 1 = infected
+
+  /// δ never consumes randomness, so the batched engine may apply one
+  /// transition result to a whole block of same-type pairs.
+  static constexpr bool kDeterministicInteract = true;
+
+  std::uint32_t n;
+
+  std::uint32_t population_size() const { return n; }
+  State initial_state(std::uint32_t agent) const { return agent == 0 ? 1 : 0; }
+  void interact(State& u, State& v, util::Rng&) const {
+    if (u == 1 || v == 1) u = v = 1;
+  }
+};
+
+}  // namespace ssle::pp

@@ -1,0 +1,228 @@
+// BatchedSimulator semantics + statistical equivalence with Simulator.
+//
+// The batched engine is an exact sampler of the same counts Markov chain
+// the naive engine induces (see pp/batched_simulator.hpp), so convergence
+// times must agree in distribution — not just roughly: means, spreads and
+// (for a tiny population, where the collision path dominates) the whole
+// empirical law are compared between engines.
+#include "pp/batched_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/measure.hpp"
+#include "core/elect_leader.hpp"
+#include "core/params.hpp"
+#include "pp/epidemic.hpp"
+#include "pp/simulator.hpp"
+
+namespace ssle::pp {
+namespace {
+
+TEST(BatchedSimulator, InitialConfigurationComesFromProtocol) {
+  Epidemic proto{16};
+  BatchedSimulator<Epidemic> sim(proto, 1);
+  EXPECT_EQ(sim.config().count_of(1), 1u);
+  EXPECT_EQ(sim.config().count_of(0), 15u);
+  EXPECT_EQ(sim.interactions(), 0u);
+}
+
+TEST(BatchedSimulator, StepCountsInteractionsExactly) {
+  Epidemic proto{16};
+  BatchedSimulator<Epidemic> sim(proto, 1);
+  sim.step(100);
+  EXPECT_EQ(sim.interactions(), 100u);
+  sim.step();
+  EXPECT_EQ(sim.interactions(), 101u);
+  EXPECT_EQ(sim.config().population_size(), 16u);  // agents are conserved
+}
+
+TEST(BatchedSimulator, DeterministicGivenSeed) {
+  Epidemic proto{256};
+  BatchedSimulator<Epidemic> a(proto, 9);
+  BatchedSimulator<Epidemic> b(proto, 9);
+  a.step(5000);
+  b.step(5000);
+  EXPECT_EQ(a.config().count_of(1), b.config().count_of(1));
+  EXPECT_EQ(a.config().count_of(0), b.config().count_of(0));
+}
+
+TEST(BatchedSimulator, RunUntilChecksInitialConfiguration) {
+  Epidemic proto{8};
+  BatchedSimulator<Epidemic> sim(proto, 3);
+  const auto result = sim.run_until(
+      [](const CountsConfiguration<Epidemic>&, std::uint64_t) { return true; },
+      1000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.interactions, 0u);
+}
+
+TEST(BatchedSimulator, RunUntilRespectsBudget) {
+  Epidemic proto{8};
+  BatchedSimulator<Epidemic> sim(proto, 3);
+  const auto result = sim.run_until(
+      [](const CountsConfiguration<Epidemic>&, std::uint64_t) { return false; },
+      500, 64);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.interactions, 500u);
+}
+
+TEST(BatchedSimulator, EpidemicEventuallyInfectsAll) {
+  Epidemic proto{64};
+  BatchedSimulator<Epidemic> sim(proto, 2);
+  const auto result = sim.run_until(
+      [](const CountsConfiguration<Epidemic>& c, std::uint64_t) {
+        return c.count_of(1) == c.population_size();
+      },
+      1u << 20);
+  EXPECT_TRUE(result.converged);
+  // Same w.h.p. bound as the naive engine's test (Lemma A.2): 7·64·ln 64.
+  EXPECT_LT(result.interactions, 4000u);
+  EXPECT_GE(result.interactions, 64u);
+}
+
+TEST(BatchedSimulator, ElectLeaderRunsOnTheLinearScanPath) {
+  // core::Agent has no std::hash: exercises the non-hashable registry.
+  const core::Params params = core::Params::make(8, 4);
+  core::ElectLeader protocol(params);
+  BatchedSimulator<core::ElectLeader> sim(protocol, 5);
+  sim.step(2000);
+  EXPECT_EQ(sim.interactions(), 2000u);
+  EXPECT_EQ(sim.config().population_size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical equivalence: epidemic convergence time.
+// ---------------------------------------------------------------------------
+
+std::uint64_t epidemic_time_naive(std::uint32_t n, std::uint64_t seed) {
+  Epidemic proto{n};
+  Simulator<Epidemic> sim(proto, seed);
+  const auto r = sim.run_until(
+      [](const Population<Epidemic>& pop, std::uint64_t) {
+        for (std::uint32_t i = 0; i < pop.size(); ++i) {
+          if (pop[i] == 0) return false;
+        }
+        return true;
+      },
+      1u << 22, /*probe_every=*/1);
+  EXPECT_TRUE(r.converged);
+  return r.interactions;
+}
+
+std::uint64_t epidemic_time_batched(std::uint32_t n, std::uint64_t seed) {
+  Epidemic proto{n};
+  BatchedSimulator<Epidemic> sim(proto, seed);
+  const auto r = sim.run_until(
+      [](const CountsConfiguration<Epidemic>& c, std::uint64_t) {
+        return c.count_of(1) == c.population_size();
+      },
+      1u << 22, /*probe_every=*/1);
+  EXPECT_TRUE(r.converged);
+  return r.interactions;
+}
+
+struct SampleStats {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+SampleStats stats_of(const std::vector<std::uint64_t>& xs) {
+  double sum = 0.0, sumsq = 0.0;
+  for (const auto x : xs) {
+    sum += static_cast<double>(x);
+    sumsq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  const double var = sumsq / static_cast<double>(xs.size()) - mean * mean;
+  return {mean, std::sqrt(std::max(0.0, var))};
+}
+
+TEST(BatchedEquivalence, EpidemicConvergenceTimesMatch) {
+  const std::uint32_t n = 48;
+  const int trials = 300;
+  std::vector<std::uint64_t> naive, batched;
+  naive.reserve(trials);
+  batched.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    naive.push_back(epidemic_time_naive(n, 1000 + t));
+    batched.push_back(epidemic_time_batched(n, 5000 + t));
+  }
+  const auto sn = stats_of(naive);
+  const auto sb = stats_of(batched);
+  // E[T] = (n-1)·H_{n-1} ≈ 208 with sd ≈ 40; the standard error of each
+  // mean over 300 trials is ≈ 2.3, so 12 is a ≈3.7σ band for the gap.
+  EXPECT_NEAR(sn.mean, sb.mean, 12.0)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+  EXPECT_GT(sb.sd, 0.6 * sn.sd);
+  EXPECT_LT(sb.sd, 1.6 * sn.sd);
+}
+
+TEST(BatchedEquivalence, TinyPopulationLawMatches) {
+  // n = 4 makes within-block collisions the common case, stressing the
+  // used/unused collision sampling; compare the whole empirical law of the
+  // convergence time via total-variation distance.
+  const std::uint32_t n = 4;
+  const int trials = 3000;
+  std::map<std::uint64_t, int> pmf_naive, pmf_batched;
+  for (int t = 0; t < trials; ++t) {
+    ++pmf_naive[epidemic_time_naive(n, 20000 + t)];
+    ++pmf_batched[epidemic_time_batched(n, 60000 + t)];
+  }
+  double tv = 0.0;
+  std::map<std::uint64_t, double> diff;
+  for (const auto& [k, c] : pmf_naive) diff[k] += static_cast<double>(c) / trials;
+  for (const auto& [k, c] : pmf_batched) diff[k] -= static_cast<double>(c) / trials;
+  for (const auto& [k, d] : diff) tv += std::abs(d);
+  tv /= 2.0;
+  EXPECT_LT(tv, 0.1) << "total variation distance " << tv;
+}
+
+// ---------------------------------------------------------------------------
+// Statistical equivalence: ElectLeader_r stabilization at small n.
+// ---------------------------------------------------------------------------
+
+double elect_leader_time_naive(const core::Params& params, std::uint64_t seed,
+                               std::uint64_t budget) {
+  const auto res = analysis::stabilize_clean(params, seed, budget);
+  EXPECT_TRUE(res.converged);
+  return res.parallel_time;
+}
+
+double elect_leader_time_batched(const core::Params& params,
+                                 std::uint64_t seed, std::uint64_t budget) {
+  const auto res = analysis::stabilize_clean_batched(params, seed, budget);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.leaders, 1u);
+  return res.parallel_time;
+}
+
+TEST(BatchedEquivalence, ElectLeaderStabilizationTimesMatch) {
+  const core::Params params = core::Params::make(16, 4);
+  const std::uint64_t budget = analysis::default_budget(params);
+  const int trials = 25;
+  std::vector<std::uint64_t> naive, batched;
+  for (int t = 0; t < trials; ++t) {
+    naive.push_back(static_cast<std::uint64_t>(
+        elect_leader_time_naive(params, 300 + t, budget)));
+    batched.push_back(static_cast<std::uint64_t>(
+        elect_leader_time_batched(params, 900 + t, budget)));
+  }
+  const auto sn = stats_of(naive);
+  const auto sb = stats_of(batched);
+  // Stabilization time is heavy-tailed and 25 trials is modest, so allow a
+  // wide band; a biased engine (e.g. broken collision handling) lands far
+  // outside it.
+  EXPECT_GT(sb.mean, 0.4 * sn.mean)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+  EXPECT_LT(sb.mean, 2.5 * sn.mean)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+}
+
+}  // namespace
+}  // namespace ssle::pp

@@ -1,0 +1,210 @@
+#include "pp/counts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "pp/batched_simulator.hpp"
+#include "pp/epidemic.hpp"
+
+namespace ssle::pp {
+namespace {
+
+TEST(Counts, CleanInitialConfigurationFromProtocol) {
+  Epidemic proto{16};
+  CountsConfiguration<Epidemic> config(proto);
+  EXPECT_EQ(config.population_size(), 16u);
+  EXPECT_EQ(config.count_of(1), 1u);
+  EXPECT_EQ(config.count_of(0), 15u);
+  EXPECT_EQ(config.count_of(7), 0u);  // never registered
+}
+
+TEST(Counts, ExplicitConfigurationProjectsToCounts) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{1, 0, 1, 1, 0});
+  EXPECT_EQ(config.population_size(), 5u);
+  EXPECT_EQ(config.count_of(1), 3u);
+  EXPECT_EQ(config.count_of(0), 2u);
+}
+
+TEST(Counts, AddRemoveAndTotals) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  EXPECT_EQ(config.population_size(), 0u);
+  const auto idx = config.add(3, 10);
+  config.add(4, 2);
+  EXPECT_EQ(config.population_size(), 12u);
+  config.remove_at(idx, 4);
+  EXPECT_EQ(config.count_of(3), 6u);
+  EXPECT_EQ(config.population_size(), 8u);
+}
+
+TEST(Counts, ToStatesExpandsTheMultiset) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{1, 0, 1, 0, 0});
+  auto states = config.to_states();
+  std::sort(states.begin(), states.end());
+  EXPECT_EQ(states, (std::vector<int>{0, 0, 0, 1, 1}));
+}
+
+TEST(Counts, CompactDropsZeroEntries) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{1, 2, 3});
+  const auto idx = config.index_of(2);
+  config.remove_at(idx, 1);
+  EXPECT_EQ(config.num_states(), 3u);
+  config.compact();
+  EXPECT_EQ(config.num_states(), 2u);
+  EXPECT_EQ(config.population_size(), 2u);
+  EXPECT_EQ(config.count_of(2), 0u);
+  EXPECT_EQ(config.count_of(1), 1u);
+  EXPECT_EQ(config.count_of(3), 1u);
+}
+
+TEST(Counts, CountIfAndForEach) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{1, 0, 1, 1, 0});
+  EXPECT_EQ(config.count_if([](int s) { return s == 1; }), 3u);
+  std::uint64_t seen = 0;
+  config.for_each([&](int, std::uint64_t c) { seen += c; });
+  EXPECT_EQ(seen, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine edge cases on degenerate populations.
+// ---------------------------------------------------------------------------
+
+TEST(CountsEdge, EmptyPopulationStepsAreCountedNoOps) {
+  Epidemic proto{0};
+  BatchedSimulator<Epidemic> sim(proto, 1);
+  sim.step(100);
+  EXPECT_EQ(sim.interactions(), 100u);
+  EXPECT_EQ(sim.config().population_size(), 0u);
+}
+
+TEST(CountsEdge, EmptyPopulationRunUntilTerminates) {
+  Epidemic proto{0};
+  BatchedSimulator<Epidemic> sim(proto, 1);
+  const auto result = sim.run_until(
+      [](const CountsConfiguration<Epidemic>&, std::uint64_t) {
+        return false;
+      },
+      1000);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.interactions, 1000u);
+}
+
+TEST(CountsEdge, SingleAgentNeverInteractsButCounts) {
+  Epidemic proto{1};
+  BatchedSimulator<Epidemic> sim(proto, 1);
+  sim.step(50);
+  EXPECT_EQ(sim.interactions(), 50u);
+  EXPECT_EQ(sim.config().count_of(1), 1u);  // the lone infected agent
+  EXPECT_EQ(sim.config().population_size(), 1u);
+}
+
+TEST(CountsEdge, SingleStatePopulationIsAFixedPoint) {
+  // All agents already infected: every interaction is (1,1) → (1,1).
+  CountsConfiguration<Epidemic> config(std::vector<int>(32, 1));
+  Epidemic proto{32};
+  BatchedSimulator<Epidemic> sim(proto, config, 7);
+  sim.step(5000);
+  EXPECT_EQ(sim.interactions(), 5000u);
+  EXPECT_EQ(sim.config().count_of(1), 32u);
+  EXPECT_EQ(sim.config().count_of(0), 0u);
+}
+
+TEST(CountsEdge, ProbeEveryLargerThanBudgetStillProbesAtTheEnd) {
+  Epidemic proto{8};
+  BatchedSimulator<Epidemic> sim(proto, 3);
+  // probe_every = 10^6 > max_interactions = 40: the chunk is clamped to the
+  // budget, so exactly 40 interactions run and the predicate is evaluated
+  // once more at the end.
+  std::uint64_t probes = 0;
+  const auto result = sim.run_until(
+      [&](const CountsConfiguration<Epidemic>&, std::uint64_t) {
+        ++probes;
+        return false;
+      },
+      40, 1000000);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.interactions, 40u);
+  EXPECT_EQ(probes, 2u);  // initial probe + the clamped terminal probe
+}
+
+// ---------------------------------------------------------------------------
+// Hypergeometric samplers (the machinery behind the batched engine).
+// ---------------------------------------------------------------------------
+
+TEST(Hypergeometric, DegenerateCasesAreExact) {
+  util::Rng rng(11);
+  EXPECT_EQ(sample_hypergeometric(rng, 100, 40, 0), 0u);
+  EXPECT_EQ(sample_hypergeometric(rng, 100, 0, 30), 0u);
+  EXPECT_EQ(sample_hypergeometric(rng, 100, 100, 30), 30u);
+  EXPECT_EQ(sample_hypergeometric(rng, 100, 40, 100), 40u);
+}
+
+TEST(Hypergeometric, StaysOnSupport) {
+  util::Rng rng(13);
+  const std::uint64_t total = 50, successes = 30, draws = 35;
+  const std::uint64_t lo = draws + successes - total;  // 15
+  const std::uint64_t hi = std::min(draws, successes);  // 30
+  for (int i = 0; i < 3000; ++i) {
+    const auto k = sample_hypergeometric(rng, total, successes, draws);
+    EXPECT_GE(k, lo);
+    EXPECT_LE(k, hi);
+  }
+}
+
+TEST(Hypergeometric, MeanAndVarianceMatchTheory) {
+  util::Rng rng(17);
+  const std::uint64_t total = 1000, successes = 300, draws = 100;
+  const double expected_mean =
+      static_cast<double>(draws) * successes / total;  // 30
+  // Var = m · (K/N) · (1-K/N) · (N-m)/(N-1) ≈ 18.92
+  const double expected_var = draws * 0.3 * 0.7 * (900.0 / 999.0);
+  const int trials = 20000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const auto k =
+        static_cast<double>(sample_hypergeometric(rng, total, successes, draws));
+    sum += k;
+    sumsq += k * k;
+  }
+  const double mean = sum / trials;
+  const double var = sumsq / trials - mean * mean;
+  EXPECT_NEAR(mean, expected_mean, 0.15);       // ±~5 sigma of the mean est.
+  EXPECT_NEAR(var, expected_var, expected_var * 0.1);
+}
+
+TEST(Hypergeometric, MultivariateDrawsPartitionTheSample) {
+  util::Rng rng(19);
+  const std::vector<std::uint64_t> counts{500, 0, 300, 200};
+  std::vector<std::uint64_t> out;
+  for (int i = 0; i < 500; ++i) {
+    sample_multivariate_hypergeometric(rng, counts, 250, out);
+    ASSERT_EQ(out.size(), counts.size());
+    std::uint64_t sum = 0;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      EXPECT_LE(out[j], counts[j]);
+      sum += out[j];
+    }
+    EXPECT_EQ(sum, 250u);
+    EXPECT_EQ(out[1], 0u);
+  }
+}
+
+TEST(Hypergeometric, MultivariateMeansAreProportional) {
+  util::Rng rng(23);
+  const std::vector<std::uint64_t> counts{600, 300, 100};
+  std::vector<std::uint64_t> out;
+  const int trials = 10000;
+  std::vector<double> sums(3, 0.0);
+  for (int i = 0; i < trials; ++i) {
+    sample_multivariate_hypergeometric(rng, counts, 100, out);
+    for (int j = 0; j < 3; ++j) sums[j] += static_cast<double>(out[j]);
+  }
+  EXPECT_NEAR(sums[0] / trials, 60.0, 0.5);
+  EXPECT_NEAR(sums[1] / trials, 30.0, 0.5);
+  EXPECT_NEAR(sums[2] / trials, 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace ssle::pp
