@@ -83,8 +83,9 @@ double detect_latency(const core::Params& params, std::uint64_t seed,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 32));
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto trials = cli.get_count("trials", 5);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 110));
+  const auto jobs = cli.get_jobs();
 
   analysis::print_banner(
       "A1 (design-choice ablations)",
@@ -128,9 +129,10 @@ int main(int argc, char** argv) {
       params.load_balancing_enabled = lb;
       const std::uint64_t L = core::Params::log2ceil(n);
       const std::uint64_t budget = 4000ull * n * L;
-      const auto res = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-        return detect_latency(params, s, budget);
-      });
+      const auto res =
+          analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+            return detect_latency(params, s, budget);
+          }, jobs);
       table.add_row(
           {lb ? "BalanceLoad ON (paper)" : "BalanceLoad OFF (ablated)",
            util::fmt(res.summary.mean, 0),
@@ -150,9 +152,10 @@ int main(int argc, char** argv) {
       const core::Params params = core::Params::make(n, n / 2, mult);
       const std::uint64_t L = core::Params::log2ceil(n);
       const std::uint64_t budget = 8000ull * n * L;
-      const auto res = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-        return detect_latency(params, s, budget);
-      });
+      const auto res =
+          analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+            return detect_latency(params, s, budget);
+          }, jobs);
       const auto held =
           core::dc_message_count(core::dc_initial_state(params, 1));
       table.add_row(

@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 48));
   const auto r = static_cast<std::uint32_t>(cli.get_int("r", 12));
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 3));
+  const auto jobs = cli.get_jobs();
+  const auto trials = cli.get_count("trials", 3);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 120));
 
   analysis::print_banner(
@@ -100,12 +101,14 @@ int main(int argc, char** argv) {
   util::Table table({"graph", "edges", "epidemic(par.time)",
                      "stabilize(par.time)", "stab fails"});
   for (const auto& [name, graph] : graphs) {
-    const auto epi = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-      return epidemic_time(graph, s);
-    });
-    const auto stab = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-      return elect_leader_time(graph, params, s, budget);
-    });
+    const auto epi =
+        analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+          return epidemic_time(graph, s);
+        }, jobs);
+    const auto stab =
+        analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+          return elect_leader_time(graph, params, s, budget);
+        }, jobs);
     table.add_row({name, util::fmt_int(static_cast<long long>(graph.edges())),
                    util::fmt(epi.summary.mean / n, 1),
                    stab.samples.empty() ? "-"

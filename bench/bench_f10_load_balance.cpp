@@ -47,8 +47,9 @@ double spread_time(std::uint32_t m, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 20));
+  const auto trials = cli.get_count("trials", 20);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 90));
+  const auto jobs = cli.get_jobs();
 
   analysis::print_banner(
       "F10 (Lemma E.6)",
@@ -60,9 +61,10 @@ int main(int argc, char** argv) {
   util::Table table({"m", "spread(mean)", "ci95", "spread/(m·ln m)", "fails"});
   std::vector<double> ms, ys;
   for (std::uint32_t m : {8u, 16u, 32u, 64u, 128u}) {
-    const auto result = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-      return spread_time(m, s);
-    });
+    const auto result =
+        analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+          return spread_time(m, s);
+        }, jobs);
     table.add_row({util::fmt_int(m), util::fmt(result.summary.mean, 0),
                    util::fmt(util::ci95_halfwidth(result.summary), 0),
                    util::fmt(result.summary.mean / util::model_nlogn(m), 2),

@@ -17,8 +17,9 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 48));
   const auto r = static_cast<std::uint32_t>(cli.get_int("r", n / 4));
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto trials = cli.get_count("trials", 5);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 30));
+  const auto jobs = cli.get_jobs();
 
   analysis::print_banner(
       "F3 (Lemma 6.3 recovery)",
@@ -33,11 +34,12 @@ int main(int argc, char** argv) {
   util::Table table({"class", "recov.interactions(mean)", "ci95", "par.time",
                      "p90", "fails"});
   for (const auto corruption : core::all_corruptions()) {
-    const auto result = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-      const auto run = analysis::stabilize_adversarial(params, corruption, s,
-                                                       budget);
-      return run.converged ? static_cast<double>(run.interactions) : -1.0;
-    });
+    const auto result =
+        analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+          const auto run =
+              analysis::stabilize_adversarial(params, corruption, s, budget);
+          return run.converged ? static_cast<double>(run.interactions) : -1.0;
+        }, jobs);
     table.add_row({core::corruption_name(corruption),
                    util::fmt(result.summary.mean, 0),
                    util::fmt(util::ci95_halfwidth(result.summary), 0),

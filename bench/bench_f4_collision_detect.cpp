@@ -40,8 +40,9 @@ double detection_time(const core::Params& params,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto trials = cli.get_count("trials", 5);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 40));
+  const auto jobs = cli.get_jobs();
 
   analysis::print_banner(
       "F4 (Lemma E.1(b))",
@@ -64,9 +65,9 @@ int main(int argc, char** argv) {
       const std::uint64_t L = core::Params::log2ceil(n);
       const std::uint64_t budget = 3000ull * (n * n / r) * L + 500000;
       const auto result =
-          analysis::sweep(seed, trials, [&](std::uint64_t s) {
+          analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
             return detection_time(params, ranks, s, budget);
-          });
+          }, jobs);
       const double model = util::model_nlogn(n) * n / r;
       table.add_row({util::fmt_int(n), util::fmt_int(r), util::fmt_int(dups),
                      util::fmt(result.summary.mean, 0),

@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 32));
   const auto r = static_cast<std::uint32_t>(cli.get_int("r", 8));
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto trials = cli.get_count("trials", 5);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 50));
 
   analysis::print_banner(

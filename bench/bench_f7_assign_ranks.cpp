@@ -2,6 +2,7 @@
 // c·(n²/r)·log n interactions w.h.p. from a dormant configuration and is
 // silent afterwards.  Runs the sub-protocol standalone.
 #include <algorithm>
+#include <atomic>
 #include <iostream>
 #include <vector>
 
@@ -48,8 +49,9 @@ double ranking_time(const core::Params& params, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto trials = cli.get_count("trials", 5);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 60));
+  const auto jobs = cli.get_jobs();
 
   analysis::print_banner(
       "F7 (Lemma D.1)",
@@ -68,13 +70,14 @@ int main(int argc, char** argv) {
       const core::Params params = core::Params::make(n, r);
       const std::uint64_t L = core::Params::log2ceil(n);
       const std::uint64_t budget = 2000ull * (n * n / r) * L + 500000;
-      std::size_t correct_count = 0;
-      const auto result = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-        bool correct = false;
-        const double t = ranking_time(params, s, budget, &correct);
-        correct_count += correct;
-        return t;
-      });
+      std::atomic<std::size_t> correct_count{0};  // measure runs concurrently
+      const auto result =
+          analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+            bool correct = false;
+            const double t = ranking_time(params, s, budget, &correct);
+            correct_count += correct;
+            return t;
+          }, jobs);
       const double model = util::model_nlogn(n) * n / r;
       table.add_row(
           {util::fmt_int(n), util::fmt_int(r),
@@ -82,7 +85,7 @@ int main(int argc, char** argv) {
            util::fmt(util::ci95_halfwidth(result.summary), 0),
            util::fmt(result.summary.mean / n, 1),
            util::fmt(result.summary.mean / model, 2),
-           util::fmt_int(static_cast<long long>(correct_count)) + "/" +
+           util::fmt_int(static_cast<long long>(correct_count.load())) + "/" +
                util::fmt_int(static_cast<long long>(trials)),
            util::fmt_int(static_cast<long long>(result.failures))});
     }

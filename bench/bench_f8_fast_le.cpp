@@ -1,6 +1,7 @@
 // Experiment F8 — Lemma D.10: FastLeaderElect elects a unique leader in
 // O(log n) parallel time w.h.p. using 2^{O(log n)} states.  Measures
 // completion time and the uniqueness rate over many trials.
+#include <atomic>
 #include <iostream>
 #include <vector>
 
@@ -49,8 +50,9 @@ FleOutcome run_once(const core::Params& params, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 30));
+  const auto trials = cli.get_count("trials", 30);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 70));
+  const auto jobs = cli.get_jobs();
 
   analysis::print_banner(
       "F8 (Lemma D.10)",
@@ -63,17 +65,18 @@ int main(int argc, char** argv) {
   std::vector<double> ns, ys;
   for (std::uint32_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
     const core::Params params = core::Params::make(n, 2);
-    std::size_t unique = 0;
-    const auto result = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-      const FleOutcome o = run_once(params, s);
-      unique += o.unique_leader;
-      return o.interactions;
-    });
+    std::atomic<std::size_t> unique{0};  // measure runs concurrently
+    const auto result =
+        analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+          const FleOutcome o = run_once(params, s);
+          unique += o.unique_leader;
+          return o.interactions;
+        }, jobs);
     const double par = result.summary.mean / n;
     table.add_row({util::fmt_int(n), util::fmt(result.summary.mean, 0),
                    util::fmt(par, 1),
                    util::fmt(par / util::model_logn(n), 2),
-                   util::fmt_int(static_cast<long long>(unique)) + "/" +
+                   util::fmt_int(static_cast<long long>(unique.load())) + "/" +
                        util::fmt_int(static_cast<long long>(trials)),
                    util::fmt_int(static_cast<long long>(result.failures))});
     ns.push_back(n);

@@ -78,8 +78,9 @@ ResetPhases reset_phases(const core::Params& params, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 20));
+  const auto trials = cli.get_count("trials", 20);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 80));
+  const auto jobs = cli.get_jobs();
 
   analysis::print_banner(
       "F9 (Lemma A.2 + Corollary C.3)",
@@ -91,9 +92,10 @@ int main(int argc, char** argv) {
                      "computing@(mean)", "fails"});
   std::vector<double> ns, es;
   for (std::uint32_t n : {16u, 32u, 64u, 128u, 256u, 512u}) {
-    const auto epi = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-      return epidemic_time(n, s);
-    });
+    const auto epi =
+        analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+          return epidemic_time(n, s);
+        }, jobs);
     const core::Params params = core::Params::make(n, std::max(1u, n / 4));
     double dorm_sum = 0, comp_sum = 0;
     std::size_t fails = 0;

@@ -4,7 +4,7 @@
 // side by side, what you pay (per-agent state bits, live memory) and what
 // you get (stabilization time) — the engineering view of Theorem 1.1.
 //
-//   ./examples/tradeoff_explorer [--n=64] [--trials=3] [--seed=3]
+//   ./examples/tradeoff_explorer [--n=64] [--trials=3] [--seed=3] [--jobs=0]
 #include <cstdint>
 #include <iostream>
 
@@ -20,8 +20,9 @@ int main(int argc, char** argv) {
   using namespace ssle;
   const util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 64));
-  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 3));
+  const auto trials = cli.get_count("trials", 3);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const auto jobs = cli.get_jobs();
 
   std::cout << "Space-time trade-off for self-stabilizing leader election, n="
             << n << "\n"
@@ -32,11 +33,12 @@ int main(int argc, char** argv) {
   double base_time = 0.0;
   for (std::uint32_t r = 1; r <= n / 2; r *= 2) {
     const core::Params params = core::Params::make(n, r);
-    const auto result = analysis::sweep(seed, trials, [&](std::uint64_t s) {
-      const auto run =
-          analysis::stabilize_clean(params, s, analysis::default_budget(params));
-      return run.converged ? static_cast<double>(run.interactions) : -1.0;
-    });
+    const auto result =
+        analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+          const auto run = analysis::stabilize_clean(
+              params, s, analysis::default_budget(params));
+          return run.converged ? static_cast<double>(run.interactions) : -1.0;
+        }, jobs);
     const double par = result.summary.mean / n;
     if (r == 1) base_time = par;
     const auto census =

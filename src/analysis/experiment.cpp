@@ -1,16 +1,26 @@
 #include "analysis/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
 #include <iostream>
+#include <mutex>
+#include <thread>
 
 namespace ssle::analysis {
 
-SweepResult sweep(std::uint64_t base_seed, std::size_t trials,
-                  const std::function<double(std::uint64_t)>& measure) {
+namespace {
+
+/// Folds the raw per-trial values (in seed order) into a SweepResult.
+/// Shared by both runners so serial and parallel sweeps classify and
+/// aggregate identically: the samples vector, and therefore every summary
+/// statistic, is bit-identical between them.
+SweepResult aggregate(const std::vector<double>& values) {
   SweepResult res;
-  res.samples.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) {
-    const double value = measure(base_seed + t);
-    if (value < 0.0) {
+  res.samples.reserve(values.size());
+  for (const double value : values) {
+    if (!std::isfinite(value) || value < 0.0) {
       ++res.failures;
     } else {
       res.samples.push_back(value);
@@ -18,6 +28,66 @@ SweepResult sweep(std::uint64_t base_seed, std::size_t trials,
   }
   res.summary = util::summarize(res.samples);
   return res;
+}
+
+}  // namespace
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t effective_jobs(std::size_t jobs, std::size_t trials) {
+  return std::min(resolve_jobs(jobs), std::max<std::size_t>(trials, 1));
+}
+
+SweepResult parallel_sweep(std::uint64_t base_seed, std::size_t trials,
+                           const std::function<double(std::uint64_t)>& measure,
+                           std::size_t jobs) {
+  std::vector<double> values(trials);
+  jobs = std::min(resolve_jobs(jobs), trials);
+  if (jobs <= 1) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      values[t] = measure(base_seed + t);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    // First exception thrown by any trial, rethrown on the calling thread
+    // after the join so error behavior matches the jobs == 1 path.
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+          if (t >= trials) return;
+          try {
+            values[t] = measure(base_seed + t);
+          } catch (...) {
+            {
+              const std::lock_guard<std::mutex> lock(error_mutex);
+              if (!error) error = std::current_exception();
+            }
+            // Drain the queue so the other workers stop picking up trials
+            // and the rethrow below is not delayed by remaining work.
+            next.store(trials, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    if (error) std::rethrow_exception(error);
+  }
+  return aggregate(values);
+}
+
+SweepResult sweep(std::uint64_t base_seed, std::size_t trials,
+                  const std::function<double(std::uint64_t)>& measure) {
+  return parallel_sweep(base_seed, trials, measure, /*jobs=*/1);
 }
 
 void print_banner(const std::string& experiment_id, const std::string& claim,

@@ -1,5 +1,18 @@
 // Seed-sweep experiment driver: runs a measurement across independent
 // seeds and aggregates summary statistics.  Used by every bench binary.
+//
+// Two runners share one contract:
+//   * sweep()          — serial reference implementation,
+//   * parallel_sweep() — thread-pool runner fanning the per-seed trials
+//                        across cores.
+// Each trial is a pure function of its seed, and parallel_sweep collects
+// the per-trial values back into seed order before aggregating, so its
+// SweepResult is bit-identical to sweep()'s for any jobs count.
+//
+// A trial fails when the measurement returns a negative value (the
+// did-not-converge convention) or any non-finite value (NaN/±inf): failed
+// trials are counted in `failures` and excluded from the samples, never
+// silently folded into the mean.
 #pragma once
 
 #include <cstdint>
@@ -13,14 +26,32 @@ namespace ssle::analysis {
 
 struct SweepResult {
   util::Summary summary;        ///< of the per-seed measurements
-  std::size_t failures = 0;     ///< seeds that did not converge in budget
+  std::size_t failures = 0;     ///< trials that failed (negative/non-finite)
   std::vector<double> samples;  ///< converged samples only
 };
 
 /// Runs `measure(seed)` for `trials` consecutive seeds starting at
-/// `base_seed`; a negative return marks a failed (non-converged) trial.
+/// `base_seed`; a negative or non-finite return marks a failed trial.
 SweepResult sweep(std::uint64_t base_seed, std::size_t trials,
                   const std::function<double(std::uint64_t)>& measure);
+
+/// Thread-pool variant of sweep(): fans the trials across `jobs` worker
+/// threads (jobs == 0 → std::thread::hardware_concurrency()).  `measure`
+/// is called concurrently from multiple threads and must not mutate
+/// shared state without synchronization.  Results are identical to
+/// sweep() for every jobs value.
+SweepResult parallel_sweep(std::uint64_t base_seed, std::size_t trials,
+                           const std::function<double(std::uint64_t)>& measure,
+                           std::size_t jobs);
+
+/// Resolves a `--jobs` CLI value: 0 (the flag's conventional default)
+/// means "all hardware threads"; anything else is used as given.
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// The worker count parallel_sweep actually uses for `trials` trials:
+/// resolve_jobs(jobs) clamped to the trial count (at least 1).  Banners
+/// should print this, not the unclamped resolution.
+std::size_t effective_jobs(std::size_t jobs, std::size_t trials);
 
 /// Standard experiment banner printed by every bench binary.
 void print_banner(const std::string& experiment_id, const std::string& claim,

@@ -1,6 +1,8 @@
 #include "analysis/measure.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/safety.hpp"
 #include "pp/batched_simulator.hpp"
@@ -70,6 +72,42 @@ StabilizationResult stabilize_clean_batched(const core::Params& params,
   res.leaders = static_cast<std::uint32_t>(
       sim.config().count_if(core::ElectLeader::is_leader));
   return res;
+}
+
+Engine engine_from_string(const std::string& name) {
+  if (name == "naive") return Engine::kNaive;
+  if (name == "batched") return Engine::kBatched;
+  std::fprintf(stderr,
+               "error: --engine=%s is not a valid engine (naive|batched)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+const char* engine_name(Engine engine) {
+  return engine == Engine::kNaive ? "naive" : "batched";
+}
+
+core::MessageMultiplicity multiplicity_from_string(const std::string& name) {
+  if (name == "faithful") return core::MessageMultiplicity::kFaithful;
+  if (name == "light") return core::MessageMultiplicity::kLight;
+  std::fprintf(
+      stderr,
+      "error: --mult=%s is not a valid multiplicity (faithful|light)\n",
+      name.c_str());
+  std::exit(2);
+}
+
+const char* multiplicity_name(core::MessageMultiplicity mult) {
+  return mult == core::MessageMultiplicity::kFaithful ? "faithful" : "light";
+}
+
+StabilizationResult stabilize_clean_engine(Engine engine,
+                                           const core::Params& params,
+                                           std::uint64_t seed,
+                                           std::uint64_t max_interactions) {
+  return engine == Engine::kNaive
+             ? stabilize_clean(params, seed, max_interactions)
+             : stabilize_clean_batched(params, seed, max_interactions);
 }
 
 StabilizationResult stabilize_adversarial(const core::Params& params,

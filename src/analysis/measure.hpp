@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/adversary.hpp"
@@ -39,14 +40,37 @@ StabilizationResult stabilize_from(const core::Params& params,
 
 /// Same measurement as stabilize_clean but on the count-based batched
 /// engine (pp/batched_simulator.hpp).  Statistically equivalent to the
-/// naive engine.  Note: ElectLeader_r has ≥ n distinct live states once
-/// ranks spread (and core::Agent uses the registry's linear-scan path),
-/// so this is NOT faster than stabilize_clean today — it exists for
-/// engine cross-validation at small n; see the ROADMAP item on hashing
-/// core::Agent before using it at scale.
+/// naive engine.  core::Agent has a std::hash specialization, so the
+/// registry takes the O(1) hash-indexed path; but note ElectLeader_r has
+/// ≥ n distinct live states once FastLE identifiers are drawn, so the
+/// counts compress little for this protocol — the batched engine is the
+/// right tool for the uniform-scheduler sweeps at large n where the
+/// per-interaction block amortization (no O(n) agent array, no cache
+/// misses) dominates, and for cross-validation everywhere.
 StabilizationResult stabilize_clean_batched(const core::Params& params,
                                             std::uint64_t seed,
                                             std::uint64_t max_interactions);
+
+/// Which simulation engine a sweep should run ElectLeader_r on.  Graph-
+/// restricted workloads (pp::GraphScheduler) are naive-only by design.
+enum class Engine { kNaive, kBatched };
+
+/// Parses a `--engine=` CLI value ("naive" | "batched"); exits with a
+/// clear error on anything else.
+Engine engine_from_string(const std::string& name);
+const char* engine_name(Engine engine);
+
+/// Parses a `--mult=` CLI value ("faithful" | "light"); exits with a
+/// clear error on anything else (a typo'd "light" must not silently run
+/// the far more expensive faithful sweep).
+core::MessageMultiplicity multiplicity_from_string(const std::string& name);
+const char* multiplicity_name(core::MessageMultiplicity mult);
+
+/// Dispatches stabilize_clean / stabilize_clean_batched on `engine`.
+StabilizationResult stabilize_clean_engine(Engine engine,
+                                           const core::Params& params,
+                                           std::uint64_t seed,
+                                           std::uint64_t max_interactions);
 
 /// A generous default interaction budget for (n, r):
 /// c · (n²/r) · log n, scaled to dominate the protocol's constants.

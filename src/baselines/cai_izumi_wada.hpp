@@ -10,7 +10,9 @@
 // the "silent regime" comparison point of experiment T1.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -48,3 +50,13 @@ class CaiIzumiWada {
 };
 
 }  // namespace ssle::baselines
+
+/// Enables the O(1) hash-indexed registry in pp::CountsConfiguration, so
+/// the batched engine can run this baseline at large n.
+template <>
+struct std::hash<ssle::baselines::CaiIzumiWada::State> {
+  std::size_t operator()(
+      const ssle::baselines::CaiIzumiWada::State& s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.rank);
+  }
+};

@@ -7,7 +7,9 @@
 // is needed.  Included as the context row of experiment T1.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -43,3 +45,13 @@ class FightLeaderElection {
 };
 
 }  // namespace ssle::baselines
+
+/// Enables the O(1) hash-indexed registry in pp::CountsConfiguration: with
+/// two distinct states, this baseline is the batched engine's best case.
+template <>
+struct std::hash<ssle::baselines::FightLeaderElection::State> {
+  std::size_t operator()(
+      const ssle::baselines::FightLeaderElection::State& s) const noexcept {
+    return static_cast<std::size_t>(s.leader);
+  }
+};

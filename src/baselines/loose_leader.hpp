@@ -15,7 +15,9 @@
 // provides a finite holding time, which bench_t1 also measures.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -51,3 +53,14 @@ class LooseLeaderElection {
 };
 
 }  // namespace ssle::baselines
+
+/// Enables the O(1) hash-indexed registry in pp::CountsConfiguration; the
+/// state space is O(timeout), so counts compress this baseline well.
+template <>
+struct std::hash<ssle::baselines::LooseLeaderElection::State> {
+  std::size_t operator()(
+      const ssle::baselines::LooseLeaderElection::State& s) const noexcept {
+    return (static_cast<std::size_t>(s.timer) << 1) |
+           static_cast<std::size_t>(s.leader);
+  }
+};

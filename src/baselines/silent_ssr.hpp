@@ -18,9 +18,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace ssle::baselines {
@@ -60,3 +63,22 @@ class SilentSsrBaseline {
 };
 
 }  // namespace ssle::baselines
+
+/// Enables the O(1) hash-indexed registry in pp::CountsConfiguration.
+/// Note the per-agent name *sets* keep the distinct-state count near n, so
+/// counts buy little compression here — this mainly avoids linear scans.
+template <>
+struct std::hash<ssle::baselines::SilentSsrBaseline::State> {
+  std::size_t operator()(
+      const ssle::baselines::SilentSsrBaseline::State& s) const noexcept {
+    std::size_t h = s.epoch;
+    ssle::util::hash_mix(h, static_cast<std::size_t>(s.name));
+    ssle::util::hash_mix(h, s.names.size());
+    for (const std::uint64_t name : s.names) {
+      ssle::util::hash_mix(h, static_cast<std::size_t>(name));
+    }
+    ssle::util::hash_mix(h, s.settle);
+    ssle::util::hash_mix(h, s.rank);
+    return h;
+  }
+};

@@ -7,8 +7,12 @@
 // paper's bounds are about) lives in core/state_size.*.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
+
+#include "util/hash.hpp"
 
 namespace ssle::core {
 
@@ -137,4 +141,104 @@ struct Agent {
   friend bool operator==(const Agent&, const Agent&) = default;
 };
 
+// ---------------------------------------------------------------------------
+// Hashing: a nested combine over every field operator== compares, so equal
+// agents hash equal.  The std::hash<Agent> specialization below switches
+// pp::CountsConfiguration<ElectLeader> onto its O(1) hash-indexed registry
+// path (instead of linear scans over the distinct states), which is what
+// makes the batched engine usable for ElectLeader_r beyond toy n.
+// ---------------------------------------------------------------------------
+namespace detail {
+
+using util::hash_mix;
+
+template <typename T>
+void hash_mix_vec(std::size_t& seed, const std::vector<T>& xs,
+                  std::size_t (*elem_hash)(const T&)) {
+  hash_mix(seed, xs.size());
+  for (const T& x : xs) hash_mix(seed, elem_hash(x));
+}
+
+}  // namespace detail
+
+inline std::size_t hash_value(const ResetState& s) {
+  std::size_t h = s.reset_count;
+  detail::hash_mix(h, s.delay_timer);
+  return h;
+}
+
+inline std::size_t hash_value(const Label& l) {
+  std::size_t h = l.deputy;
+  detail::hash_mix(h, l.index);
+  return h;
+}
+
+inline std::size_t hash_value(const FastLeState& s) {
+  std::size_t h = s.drawn;
+  detail::hash_mix(h, s.identifier);
+  detail::hash_mix(h, s.min_identifier);
+  detail::hash_mix(h, s.le_count);
+  detail::hash_mix(h, s.leader_done);
+  detail::hash_mix(h, s.leader_bit);
+  return h;
+}
+
+inline std::size_t hash_value(const ArState& s) {
+  std::size_t h = static_cast<std::size_t>(s.type);
+  detail::hash_mix(h, hash_value(s.le));
+  detail::hash_mix(h, s.low_badge);
+  detail::hash_mix(h, s.high_badge);
+  detail::hash_mix(h, s.deputy_id);
+  detail::hash_mix(h, s.counter);
+  detail::hash_mix(h, hash_value(s.label));
+  detail::hash_mix(h, s.sleep_timer);
+  detail::hash_mix(h, s.channel.size());
+  for (const std::uint32_t c : s.channel) detail::hash_mix(h, c);
+  detail::hash_mix(h, s.rank);
+  return h;
+}
+
+inline std::size_t hash_value(const Msg& m) {
+  std::size_t h = m.id;
+  detail::hash_mix(h, m.content);
+  return h;
+}
+
+inline std::size_t hash_value(const DcState& s) {
+  std::size_t h = s.error;
+  detail::hash_mix(h, s.signature);
+  detail::hash_mix(h, s.counter);
+  detail::hash_mix(h, s.msgs.size());
+  for (const auto& bucket : s.msgs) {
+    detail::hash_mix_vec(h, bucket, &hash_value);
+  }
+  detail::hash_mix(h, s.observations.size());
+  for (const std::uint32_t o : s.observations) detail::hash_mix(h, o);
+  return h;
+}
+
+inline std::size_t hash_value(const SvState& s) {
+  std::size_t h = s.generation;
+  detail::hash_mix(h, s.probation_timer);
+  detail::hash_mix(h, hash_value(s.dc));
+  return h;
+}
+
+inline std::size_t hash_value(const Agent& a) {
+  std::size_t h = static_cast<std::size_t>(a.role);
+  detail::hash_mix(h, a.countdown);
+  detail::hash_mix(h, a.rank);
+  detail::hash_mix(h, hash_value(a.reset));
+  detail::hash_mix(h, hash_value(a.ar));
+  detail::hash_mix(h, hash_value(a.sv));
+  return h;
+}
+
 }  // namespace ssle::core
+
+template <>
+struct std::hash<ssle::core::Agent> {
+  std::size_t operator()(const ssle::core::Agent& a) const noexcept {
+    return ssle::core::hash_value(a);
+  }
+};

@@ -26,9 +26,12 @@
 // truncating a block at a probe boundary) reproduces the sequential
 // process's distribution exactly — BatchedSimulator and Simulator are
 // statistically indistinguishable, which tests/test_batched_simulator.cpp
-// checks empirically.  Expected block length is Θ(√n), so per-interaction
-// cost is a couple of floating-point ops plus O(q²/√n) amortized sampling
-// work — no O(n) array, no cache misses.
+// checks empirically.  Expected block length is L = Θ(√n); each block
+// costs O(q) for the hypergeometric draw over the registry's q states
+// plus O(L·min(L, q)) for the initiator/responder matching (the matching
+// runs over the ≤ 2L classes actually drawn, not the full registry), so
+// per-interaction cost is O(q/√n + √n) amortized — no O(n) agent array,
+// no cache misses.
 //
 // The API mirrors Simulator (`step`, `run_until`, RunResult, probe
 // semantics); predicates observe the CountsConfiguration instead of the
@@ -203,21 +206,36 @@ class BatchedSimulator {
     if (used_.size() < q) used_.resize(q, 0);
 
     // 2. Collision-free block: 2L distinct agents without replacement.
+    // After the initial draw, compact to the ≤ min(2L, q) classes actually
+    // drawn: the initiator/responder split and matching then cost
+    // O(L·min(L, q)) instead of O(L·q).  Zero-count classes consume no
+    // randomness in sample_hypergeometric, so the compaction leaves the
+    // RNG stream — and therefore every result — bit-identical to the
+    // dense formulation.  This is what keeps registries with q ≈ n
+    // distinct states (ElectLeader_r once identifiers/ranks spread)
+    // runnable at n = 10^5–10^6.
     if (L > 0) {
       sample_multivariate_hypergeometric(rng_, config_.counts(), 2 * L, k_);
+      nz_.clear();
+      nzk_.clear();
       for (std::uint32_t i = 0; i < q; ++i) {
-        if (k_[i] > 0) config_.remove_at(i, k_[i]);
+        if (k_[i] > 0) {
+          config_.remove_at(i, k_[i]);
+          nz_.push_back(i);
+          nzk_.push_back(k_[i]);
+        }
       }
-      sample_multivariate_hypergeometric(rng_, k_, L, init_);
-      resp_.assign(k_.begin(), k_.end());
-      for (std::uint32_t i = 0; i < q; ++i) resp_[i] -= init_[i];
-      for (std::uint32_t a = 0; a < q; ++a) {
+      const auto m = static_cast<std::uint32_t>(nz_.size());
+      sample_multivariate_hypergeometric(rng_, nzk_, L, init_);
+      resp_.assign(nzk_.begin(), nzk_.end());
+      for (std::uint32_t i = 0; i < m; ++i) resp_[i] -= init_[i];
+      for (std::uint32_t a = 0; a < m; ++a) {
         if (init_[a] == 0) continue;
         sample_multivariate_hypergeometric(rng_, resp_, init_[a], match_);
-        for (std::uint32_t b = 0; b < q; ++b) {
+        for (std::uint32_t b = 0; b < m; ++b) {
           if (match_[b] == 0) continue;
           resp_[b] -= match_[b];
-          apply_pair_type(a, b, match_[b]);
+          apply_pair_type(nz_[a], nz_[b], match_[b]);
         }
       }
     }
@@ -339,9 +357,13 @@ class BatchedSimulator {
 
   std::vector<double> log_survival_;  ///< log P(first collision > t), Θ(√n)
 
-  // Scratch buffers, indexed like the registry.
+  // Scratch buffers.  used_ and k_ are indexed like the registry; nz_
+  // lists the registry indices drawn this block, and init_/resp_/match_
+  // are indexed like nz_ (compact, ≤ 2L entries).
   std::vector<std::uint64_t> used_;   ///< post-states of this block's agents
   std::vector<std::uint64_t> k_;      ///< sampled state totals (2L agents)
+  std::vector<std::uint32_t> nz_;     ///< registry indices with k_[i] > 0
+  std::vector<std::uint64_t> nzk_;    ///< k_ compacted to nz_
   std::vector<std::uint64_t> init_;   ///< initiator split
   std::vector<std::uint64_t> resp_;   ///< responder pool (consumed)
   std::vector<std::uint64_t> match_;  ///< per-initiator-state matching

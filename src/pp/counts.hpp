@@ -6,8 +6,10 @@
 // (lumpability).  `CountsConfiguration` stores that projection as a dense
 // state→count registry discovered on the fly: a vector of distinct states,
 // a parallel vector of counts, and (when the state type is hashable) a hash
-// index for O(1) lookups.  Non-hashable state types (e.g. core::Agent) fall
-// back to linear scans over the distinct states, which is exact but only
+// index for O(1) lookups.  Every shipped state type — including
+// core::Agent, via the nested-struct std::hash in core/agent.hpp — is
+// hashable and takes the indexed path; non-hashable state types fall back
+// to linear scans over the distinct states, which is exact but only
 // sensible when the number of *distinct* states is small.
 //
 // This is the representation the batched engine (pp/batched_simulator.hpp)

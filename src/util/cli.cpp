@@ -1,8 +1,21 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace ssle::util {
+
+namespace {
+
+[[noreturn]] void die_bad_value(const std::string& key,
+                                const std::string& value, const char* kind) {
+  std::fprintf(stderr, "error: --%s=%s is not a valid %s\n", key.c_str(),
+               value.c_str(), kind);
+  std::exit(2);
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -25,13 +38,44 @@ bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
 std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(begin, &end, 10);
+  if (end == begin || *end != '\0' || errno == ERANGE) {
+    die_bad_value(key, it->second, "integer");
+  }
+  return value;
+}
+
+std::size_t Cli::get_count(const std::string& key, std::size_t fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::int64_t value = get_int(key, 0);
+  if (value < 0) die_bad_value(key, it->second, "non-negative count");
+  return static_cast<std::size_t>(value);
+}
+
+std::uint32_t Cli::get_count_u32(const std::string& key,
+                                 std::uint32_t fallback) const {
+  const std::size_t value = get_count(key, fallback);
+  if (value > 0xffffffffULL) {
+    die_bad_value(key, options_.at(key), "32-bit count");
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || errno == ERANGE) {
+    die_bad_value(key, it->second, "number");
+  }
+  return value;
 }
 
 std::string Cli::get_string(const std::string& key,

@@ -1,7 +1,12 @@
 // Minimal command-line option parsing for the bench/example binaries.
 // Supports "--key=value" and "--flag" forms; anything unknown is reported.
+//
+// Numeric getters are strict: a present-but-unparseable value (e.g.
+// "--n=abc", "--x=1.2.3") prints a clear error and exits with status 2
+// instead of silently yielding 0 and feeding nonsense downstream.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -18,6 +23,21 @@ class Cli {
   double get_double(const std::string& key, double fallback) const;
   std::string get_string(const std::string& key,
                          const std::string& fallback) const;
+
+  /// get_int for count-like flags (--trials, --n, --jobs, --budget, …):
+  /// additionally rejects negative values, which would otherwise wrap to
+  /// huge unsigned counts at the cast.
+  std::size_t get_count(const std::string& key, std::size_t fallback) const;
+
+  /// get_count for parameters stored in 32 bits (population sizes): also
+  /// rejects values above 2^32−1 instead of silently truncating at the
+  /// narrowing cast.
+  std::uint32_t get_count_u32(const std::string& key,
+                              std::uint32_t fallback) const;
+
+  /// The repo-wide `--jobs` flag: worker threads for parallel_sweep.
+  /// Absent or 0 means "all hardware threads" (resolved by the runner).
+  std::size_t get_jobs() const { return get_count("jobs", 0); }
 
   /// Positional (non --option) arguments.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -1,0 +1,14 @@
+// The repository-wide hash-combine step (boost-style, 64-bit golden-ratio
+// constant).  Every std::hash specialization for protocol state types
+// builds on this one mixer so hash quality can be tuned in one place.
+#pragma once
+
+#include <cstddef>
+
+namespace ssle::util {
+
+inline void hash_mix(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace ssle::util

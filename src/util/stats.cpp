@@ -42,9 +42,22 @@ Summary summarize(std::span<const double> xs) {
   return s;
 }
 
+double t95_critical(std::size_t dof) {
+  // Two-sided P = 0.95 quantiles of the t distribution, dof 1..30.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  constexpr std::size_t kTableSize = sizeof(kTable) / sizeof(kTable[0]);
+  if (dof == 0) return 0.0;
+  if (dof <= kTableSize) return kTable[dof - 1];
+  return 1.96;
+}
+
 double ci95_halfwidth(const Summary& s) {
   if (s.count < 2) return 0.0;
-  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  return t95_critical(s.count - 1) * s.stddev /
+         std::sqrt(static_cast<double>(s.count));
 }
 
 double fit_scale(std::span<const double> xs, std::span<const double> ys,

@@ -27,7 +27,14 @@ Summary summarize(std::span<const double> xs);
 /// Linear interpolation percentile, q in [0, 1].
 double percentile(std::span<const double> xs, double q);
 
-/// Half-width of a ~95% normal confidence interval for the mean.
+/// Two-sided 95% Student-t critical value for `dof` degrees of freedom.
+/// Exact table through 30 d.o.f., the normal z = 1.96 beyond — at the
+/// bench default of 5 trials (4 d.o.f.) the normal value would understate
+/// the interval by ~42%.
+double t95_critical(std::size_t dof);
+
+/// Half-width of a ~95% confidence interval for the mean, using the
+/// Student-t critical value for the sample's degrees of freedom (count−1).
 double ci95_halfwidth(const Summary& s);
 
 /// Least-squares fit of y ≈ c * f(x) through the origin; returns c.

@@ -1,0 +1,170 @@
+// std::hash<core::Agent> consistency: equal agents hash equal (required
+// for the CountsConfiguration registry), and perturbing any field — at
+// every nesting level — changes the hash.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <unordered_set>
+
+#include "baselines/cai_izumi_wada.hpp"
+#include "baselines/fight_leader.hpp"
+#include "baselines/loose_leader.hpp"
+#include "core/agent.hpp"
+#include "core/elect_leader.hpp"
+#include "core/params.hpp"
+#include "pp/counts.hpp"
+
+namespace ssle::core {
+namespace {
+
+std::size_t h(const Agent& a) { return std::hash<Agent>{}(a); }
+
+Agent busy_agent() {
+  Agent a;
+  a.role = Role::kVerifying;
+  a.countdown = 9;
+  a.rank = 4;
+  a.reset.reset_count = 2;
+  a.reset.delay_timer = 5;
+  a.ar.type = ArType::kDeputy;
+  a.ar.le.drawn = true;
+  a.ar.le.identifier = 123456;
+  a.ar.le.min_identifier = 777;
+  a.ar.le.le_count = 3;
+  a.ar.le.leader_done = true;
+  a.ar.le.leader_bit = false;
+  a.ar.low_badge = 1;
+  a.ar.high_badge = 6;
+  a.ar.deputy_id = 2;
+  a.ar.counter = 11;
+  a.ar.label = Label{2, 7};
+  a.ar.sleep_timer = 4;
+  a.ar.channel = {0, 3, 1};
+  a.ar.rank = 4;
+  a.sv.generation = 3;
+  a.sv.probation_timer = 17;
+  a.sv.dc.error = false;
+  a.sv.dc.signature = 42;
+  a.sv.dc.counter = 8;
+  a.sv.dc.msgs = {{Msg{1, 10}, Msg{2, 20}}, {}};
+  a.sv.dc.observations = {10, 0, 30};
+  return a;
+}
+
+TEST(AgentHash, EqualAgentsHashEqual) {
+  const Agent a = busy_agent();
+  const Agent b = busy_agent();
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(AgentHash, SatisfiesTheHashableStateConcept) {
+  static_assert(pp::HashableState<Agent>);
+  static_assert(pp::HashableState<baselines::CaiIzumiWada::State>);
+  static_assert(pp::HashableState<baselines::FightLeaderElection::State>);
+  static_assert(pp::HashableState<baselines::LooseLeaderElection::State>);
+}
+
+TEST(AgentHash, TopLevelFieldPerturbationsChangeTheHash) {
+  const Agent base = busy_agent();
+  Agent x = base;
+  x.role = Role::kResetting;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.countdown += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.rank += 1;
+  EXPECT_NE(h(base), h(x));
+}
+
+TEST(AgentHash, NestedResetAndArPerturbationsChangeTheHash) {
+  const Agent base = busy_agent();
+  Agent x = base;
+  x.reset.reset_count += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.reset.delay_timer += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.ar.type = ArType::kSheriff;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.ar.le.identifier += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.ar.le.drawn = !x.ar.le.drawn;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.ar.label.index += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.ar.channel[1] += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.ar.channel.push_back(0);  // length must matter, not just the contents
+  EXPECT_NE(h(base), h(x));
+}
+
+TEST(AgentHash, NestedSvAndDcPerturbationsChangeTheHash) {
+  const Agent base = busy_agent();
+  Agent x = base;
+  x.sv.generation += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.sv.probation_timer += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.sv.dc.error = true;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.sv.dc.signature += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.sv.dc.msgs[0][1].content += 1;
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.sv.dc.msgs[1].push_back(Msg{9, 9});
+  EXPECT_NE(h(base), h(x));
+  x = base;
+  x.sv.dc.observations[2] += 1;
+  EXPECT_NE(h(base), h(x));
+}
+
+TEST(AgentHash, InitialStatesHashDistinctlyAcrossPerturbedRanks) {
+  // Distinct live states from a real protocol should spread over the hash
+  // space well enough for the registry's unordered_map.
+  const Params params = Params::make(32, 8);
+  ElectLeader protocol(params);
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    Agent a = protocol.initial_state(i);
+    a.rank = i + 1;
+    a.ar.le.identifier = 1000 + i;
+    hashes.insert(h(a));
+  }
+  EXPECT_EQ(hashes.size(), 32u);
+}
+
+TEST(AgentHash, CountsConfigurationUsesTheHashIndexForAgents) {
+  // With std::hash<Agent> in place the registry takes the O(1) path; this
+  // checks the index stays consistent through add/remove/compact.
+  const Params params = Params::make(16, 4);
+  ElectLeader protocol(params);
+  pp::CountsConfiguration<ElectLeader> config(protocol);
+  EXPECT_EQ(config.population_size(), 16u);
+  ASSERT_EQ(config.num_states(), 1u);  // clean start: all agents identical
+
+  Agent ranked = protocol.initial_state(0);
+  ranked.rank = 3;
+  const auto idx = config.add(ranked, 5);
+  EXPECT_EQ(config.count_of(ranked), 5u);
+  config.remove_at(idx, 5);
+  config.compact();
+  EXPECT_EQ(config.count_of(ranked), 0u);
+  EXPECT_EQ(config.population_size(), 16u);
+  EXPECT_EQ(config.count_of(protocol.initial_state(1)), 16u);
+}
+
+}  // namespace
+}  // namespace ssle::core

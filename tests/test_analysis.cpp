@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "analysis/census.hpp"
@@ -27,6 +29,27 @@ TEST(Sweep, AllConvergedNoFailures) {
       sweep(100, 5, [](std::uint64_t) { return 1.0; });
   EXPECT_EQ(res.failures, 0u);
   EXPECT_DOUBLE_EQ(res.summary.mean, 1.0);
+}
+
+TEST(Sweep, NanIsAFailureNotASample) {
+  // Regression: `value < 0.0` is false for NaN, so a NaN measurement used
+  // to land in the samples and poison mean/stddev/percentiles.
+  const SweepResult res = sweep(0, 4, [](std::uint64_t seed) {
+    return seed == 1 ? std::numeric_limits<double>::quiet_NaN() : 2.5;
+  });
+  EXPECT_EQ(res.failures, 1u);
+  EXPECT_EQ(res.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(res.summary.mean, 2.5);
+  EXPECT_TRUE(std::isfinite(res.summary.stddev));
+}
+
+TEST(Sweep, InfinityIsAFailureNotASample) {
+  const SweepResult res = sweep(0, 3, [](std::uint64_t seed) {
+    return seed == 0 ? std::numeric_limits<double>::infinity() : 4.0;
+  });
+  EXPECT_EQ(res.failures, 1u);
+  EXPECT_EQ(res.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.summary.mean, 4.0);
 }
 
 TEST(Measure, DefaultBudgetScalesInverselyWithR) {

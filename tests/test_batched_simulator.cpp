@@ -86,14 +86,52 @@ TEST(BatchedSimulator, EpidemicEventuallyInfectsAll) {
   EXPECT_GE(result.interactions, 64u);
 }
 
-TEST(BatchedSimulator, ElectLeaderRunsOnTheLinearScanPath) {
-  // core::Agent has no std::hash: exercises the non-hashable registry.
+TEST(BatchedSimulator, ElectLeaderRunsOnTheHashIndexedPath) {
+  // core::Agent carries a std::hash specialization, so the registry takes
+  // the O(1) hash-indexed path for the full protocol.
+  static_assert(HashableState<core::Agent>);
   const core::Params params = core::Params::make(8, 4);
   core::ElectLeader protocol(params);
   BatchedSimulator<core::ElectLeader> sim(protocol, 5);
   sim.step(2000);
   EXPECT_EQ(sim.interactions(), 2000u);
   EXPECT_EQ(sim.config().population_size(), 8u);
+}
+
+namespace {
+
+/// Epidemic over a deliberately non-hashable state: keeps the registry's
+/// linear-scan fallback covered now that every shipped state type hashes.
+struct OpaqueState {
+  int infected = 0;
+  friend bool operator==(const OpaqueState&, const OpaqueState&) = default;
+};
+
+struct OpaqueEpidemic {
+  using State = OpaqueState;
+  std::uint32_t n;
+  std::uint32_t population_size() const { return n; }
+  State initial_state(std::uint32_t agent) const {
+    return State{agent == 0 ? 1 : 0};
+  }
+  void interact(State& u, State& v, util::Rng&) const {
+    if (u.infected == 1 || v.infected == 1) u.infected = v.infected = 1;
+  }
+};
+
+}  // namespace
+
+TEST(BatchedSimulator, LinearScanFallbackStillWorks) {
+  static_assert(!HashableState<OpaqueState>);
+  OpaqueEpidemic proto{64};
+  BatchedSimulator<OpaqueEpidemic> sim(proto, 2);
+  const auto result = sim.run_until(
+      [](const CountsConfiguration<OpaqueEpidemic>& c, std::uint64_t) {
+        return c.count_of(OpaqueState{1}) == c.population_size();
+      },
+      1u << 20);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.interactions, 4000u);
 }
 
 // ---------------------------------------------------------------------------

@@ -61,6 +61,33 @@ TEST(Ci95, ShrinksWithSampleSize) {
   EXPECT_EQ(ci95_halfwidth(one), 0.0);
 }
 
+TEST(Ci95, T95CriticalMatchesTheStudentTTable) {
+  EXPECT_DOUBLE_EQ(t95_critical(1), 12.706);
+  EXPECT_DOUBLE_EQ(t95_critical(4), 2.776);   // bench default: 5 trials
+  EXPECT_DOUBLE_EQ(t95_critical(10), 2.228);
+  EXPECT_DOUBLE_EQ(t95_critical(30), 2.042);
+  EXPECT_DOUBLE_EQ(t95_critical(31), 1.96);   // normal beyond the table
+  EXPECT_DOUBLE_EQ(t95_critical(1000), 1.96);
+  EXPECT_EQ(t95_critical(0), 0.0);
+  // Critical values decrease toward z as d.o.f. grow.
+  for (std::size_t dof = 1; dof < 35; ++dof) {
+    EXPECT_GE(t95_critical(dof), t95_critical(dof + 1)) << "dof " << dof;
+  }
+}
+
+TEST(Ci95, UsesStudentTAtSmallCounts) {
+  // Regression: the normal z = 1.96 at every count understated the
+  // interval at the bench default of 5 trials by ~42%.
+  Summary five;
+  five.count = 5;
+  five.stddev = 2.0;
+  EXPECT_NEAR(ci95_halfwidth(five), 2.776 * 2.0 / std::sqrt(5.0), 1e-12);
+  Summary big;
+  big.count = 500;
+  big.stddev = 2.0;
+  EXPECT_NEAR(ci95_halfwidth(big), 1.96 * 2.0 / std::sqrt(500.0), 1e-12);
+}
+
 TEST(FitScale, RecoversExactScale) {
   std::vector<double> xs, ys;
   for (double x = 2; x <= 100; x += 7) {

@@ -62,5 +62,76 @@ TEST(Cli, FallbacksUsedWhenAbsent) {
   EXPECT_EQ(cli.get_string("mode", "fast"), "fast");
 }
 
+TEST(Cli, NegativeAndFlagValuesParse) {
+  const char* argv[] = {"prog", "--delta=-42", "--verbose"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("delta", 0), -42);
+  // A bare flag stores "1", so numeric reads of it stay valid.
+  EXPECT_EQ(cli.get_int("verbose", 0), 1);
+}
+
+TEST(Cli, JobsFlagDefaultsToZeroMeaningAllCores) {
+  const char* argv1[] = {"prog"};
+  Cli plain(1, const_cast<char**>(argv1));
+  EXPECT_EQ(plain.get_jobs(), 0u);
+  const char* argv2[] = {"prog", "--jobs=4"};
+  Cli four(2, const_cast<char**>(argv2));
+  EXPECT_EQ(four.get_jobs(), 4u);
+}
+
+// Regression: get_int/get_double used to silently return 0 on garbage
+// ("--n=abc" → n = 0 → nonsense Params::make(0, r)); they now exit(2)
+// with a clear message.
+TEST(CliDeathTest, GarbageIntegerExitsWithError) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_int("n", 0), ::testing::ExitedWithCode(2),
+              "--n=abc is not a valid integer");
+}
+
+TEST(CliDeathTest, TrailingGarbageIntegerExitsWithError) {
+  const char* argv[] = {"prog", "--n=12x"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_int("n", 0), ::testing::ExitedWithCode(2),
+              "--n=12x is not a valid integer");
+}
+
+TEST(CliDeathTest, IntegerOverflowExitsWithError) {
+  const char* argv[] = {"prog", "--n=99999999999999999999999"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_int("n", 0), ::testing::ExitedWithCode(2),
+              "is not a valid integer");
+}
+
+TEST(CliDeathTest, GarbageDoubleExitsWithError) {
+  const char* argv[] = {"prog", "--x=1.2.3"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_double("x", 0.0), ::testing::ExitedWithCode(2),
+              "--x=1.2.3 is not a valid number");
+}
+
+TEST(CliDeathTest, EmptyValueExitsWithError) {
+  const char* argv[] = {"prog", "--x="};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_double("x", 0.0), ::testing::ExitedWithCode(2),
+              "is not a valid number");
+}
+
+TEST(CliDeathTest, NegativeCountExitsWithError) {
+  // --trials=-1 would wrap to 2^64-1 at the size_t cast; count-like flags
+  // reject negatives outright.
+  const char* argv[] = {"prog", "--trials=-1"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_count("trials", 5), ::testing::ExitedWithCode(2),
+              "--trials=-1 is not a valid non-negative count");
+}
+
+TEST(Cli, GetCountParsesAndFallsBack) {
+  const char* argv[] = {"prog", "--trials=12"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_count("trials", 5), 12u);
+  EXPECT_EQ(cli.get_count("absent", 5), 5u);
+}
+
 }  // namespace
 }  // namespace ssle::util
