@@ -25,6 +25,12 @@ namespace {
 using namespace ssle;
 
 /// Recovery time from corrupt-messages + whether the ranking survived.
+/// The preserved check compares each agent's rank before/after, which
+/// needs per-agent identity — a naive-engine capability by construction
+/// (the counts projection only keeps the multiset).  The trajectory is
+/// identical to analysis::stabilize(kNaive, kAdversarial, …,
+/// kCorruptMessages, …): same substream-77 configuration draw, same
+/// simulator seeding, same safety probe.
 struct RecoveryOutcome {
   double interactions = -1.0;
   bool preserved = false;
@@ -86,6 +92,10 @@ int main(int argc, char** argv) {
   const auto trials = cli.get_count("trials", 5);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 110));
   const auto jobs = cli.get_jobs();
+  const auto engine = analysis::engine_from_string(
+      cli.get_string("engine", "naive"));
+  const auto start = analysis::start_from_string(
+      cli.get_string("start", "adversarial"));
 
   analysis::print_banner(
       "A1 (design-choice ablations)",
@@ -94,29 +104,55 @@ int main(int argc, char** argv) {
       "disabling each mechanism degrades exactly its claimed benefit");
 
   // --- Ablation 1: soft reset ------------------------------------------------
+  //
+  // Engine-generic via the unified analysis::stabilize.  The
+  // ranking_preserved column needs per-agent identity, so it is only
+  // computed on the naive adversarial path (same trajectory, one run);
+  // the batched engine measures recovery time on the counts projection
+  // and reports the column as n/a.
   {
+    const bool per_agent = engine == analysis::Engine::kNaive &&
+                           start == analysis::StartKind::kAdversarial;
     util::Table table({"variant", "recovery(mean)", "ranking_preserved"});
     for (const bool soft : {true, false}) {
       core::Params params = core::Params::make(n, n / 4);
       params.soft_reset_enabled = soft;
       const std::uint64_t budget = 10 * analysis::default_budget(params);
-      double sum = 0;
-      std::size_t preserved = 0, converged = 0;
-      for (std::size_t t = 0; t < trials; ++t) {
-        const auto o = recover_corrupt_messages(params, seed + t, budget);
-        if (o.interactions >= 0) {
-          ++converged;
-          sum += o.interactions;
-          preserved += o.preserved;
+      double mean = -1.0;
+      std::string preserved_cell = "n/a (counts)";
+      if (per_agent) {
+        double sum = 0;
+        std::size_t preserved = 0, converged = 0;
+        for (std::size_t t = 0; t < trials; ++t) {
+          const auto o = recover_corrupt_messages(params, seed + t, budget);
+          if (o.interactions >= 0) {
+            ++converged;
+            sum += o.interactions;
+            preserved += o.preserved;
+          }
         }
+        mean = converged ? sum / converged : -1.0;
+        preserved_cell = util::fmt_int(static_cast<long long>(preserved)) +
+                         "/" + util::fmt_int(static_cast<long long>(trials));
+      } else {
+        const auto res =
+            analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
+              const auto run = analysis::stabilize(
+                  engine, start, params, core::Corruption::kCorruptMessages,
+                  s, budget);
+              return run.converged ? static_cast<double>(run.interactions)
+                                   : -1.0;
+            }, jobs);
+        mean = res.summary.count > 0 ? res.summary.mean : -1.0;
+        if (start == analysis::StartKind::kClean) preserved_cell = "- (clean)";
       }
       table.add_row(
           {soft ? "soft resets ON (paper)" : "soft resets OFF (ablated)",
-           util::fmt(converged ? sum / converged : -1.0, 0),
-           util::fmt_int(static_cast<long long>(preserved)) + "/" +
-               util::fmt_int(static_cast<long long>(trials))});
+           util::fmt(mean, 0), preserved_cell});
     }
-    std::cout << "\n[1] Recovery from corrupt_messages (n=" << n << "):\n";
+    std::cout << "\n[1] Recovery from corrupt_messages (n=" << n
+              << ", engine=" << analysis::engine_name(engine)
+              << ", start=" << analysis::start_name(start) << "):\n";
     table.print(std::cout);
     table.print_csv(std::cout);
   }

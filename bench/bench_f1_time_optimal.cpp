@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     const auto result =
         analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
           const auto run =
-              analysis::stabilize_clean_engine(engine, params, s, budget);
+              analysis::stabilize(engine, params, s, budget);
           return run.converged ? static_cast<double>(run.interactions) : -1.0;
         }, jobs);
     const double nlogn = util::model_nlogn(n);

@@ -1,7 +1,20 @@
 // Experiment F3 — self-stabilization recovery (Lemma 6.3 + Theorem 1.1):
 // from ANY configuration, the protocol reaches a safe configuration within
 // O((n²/r)·log n) interactions w.h.p.  Measures recovery time per
-// adversarial corruption class.
+// adversarial corruption class, on either engine:
+//
+//   --engine=naive|batched   dispatches analysis::stabilize (the batched
+//                            path projects the adversarial configuration
+//                            onto state counts and runs the Fenwick-indexed
+//                            block sampler — this is what makes n = 10^5
+//                            recovery rows executable)
+//   --start=adversarial|clean  adversarial (default) sweeps the corruption
+//                            classes; clean measures the clean-start
+//                            baseline only
+//   --class=<name>           restrict to one corruption class (CI smoke)
+//   --budget=<interactions>  override the per-trial budget (0 = auto)
+//   --mult=faithful|light    message multiplicity; faithful's Θ(m²)
+//                            messages per rank are prohibitive at large n
 #include <iostream>
 
 #include "analysis/experiment.hpp"
@@ -20,6 +33,13 @@ int main(int argc, char** argv) {
   const auto trials = cli.get_count("trials", 5);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 30));
   const auto jobs = cli.get_jobs();
+  const auto engine = analysis::engine_from_string(
+      cli.get_string("engine", "naive"));
+  const auto start = analysis::start_from_string(
+      cli.get_string("start", "adversarial"));
+  const auto class_filter = cli.get_string("class", "");
+  const auto mult = analysis::multiplicity_from_string(
+      cli.get_string("mult", "faithful"));
 
   analysis::print_banner(
       "F3 (Lemma 6.3 recovery)",
@@ -28,19 +48,41 @@ int main(int argc, char** argv) {
       "every corruption class recovers within the budget; clean-start time "
       "is the baseline row ('none' = already safe, 0)");
 
-  const core::Params params = core::Params::make(n, r);
-  const std::uint64_t budget = 8 * analysis::default_budget(params);
+  const core::Params params = core::Params::make(n, r, mult);
+  std::uint64_t budget = cli.get_count("budget", 0);
+  if (budget == 0) budget = 8 * analysis::default_budget(params);
+
+  // Row set: the corruption classes (adversarial), or the single clean
+  // baseline.  --class narrows the sweep to one class, e.g. for CI smoke
+  // at n = 10^5 where the full matrix would take minutes.
+  std::vector<core::Corruption> classes;
+  if (start == analysis::StartKind::kClean) {
+    classes.push_back(core::Corruption::kNone);
+  } else if (class_filter.empty()) {
+    classes = core::all_corruptions();
+  } else {
+    for (const auto c : core::all_corruptions()) {
+      if (core::corruption_name(c) == class_filter) classes.push_back(c);
+    }
+    if (classes.empty()) {
+      std::cerr << "error: --class=" << class_filter
+                << " is not a corruption class\n";
+      return 2;
+    }
+  }
 
   util::Table table({"class", "recov.interactions(mean)", "ci95", "par.time",
                      "p90", "fails"});
-  for (const auto corruption : core::all_corruptions()) {
+  for (const auto corruption : classes) {
     const auto result =
         analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
-          const auto run =
-              analysis::stabilize_adversarial(params, corruption, s, budget);
+          const auto run = analysis::stabilize(engine, start, params,
+                                               corruption, s, budget);
           return run.converged ? static_cast<double>(run.interactions) : -1.0;
         }, jobs);
-    table.add_row({core::corruption_name(corruption),
+    table.add_row({start == analysis::StartKind::kClean
+                       ? "clean"
+                       : core::corruption_name(corruption),
                    util::fmt(result.summary.mean, 0),
                    util::fmt(util::ci95_halfwidth(result.summary), 0),
                    util::fmt(result.summary.mean / n, 1),
@@ -50,6 +92,9 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   table.print_csv(std::cout);
   std::cout << "\nn=" << n << " r=" << r
+            << "  engine=" << analysis::engine_name(engine)
+            << " start=" << analysis::start_name(start)
+            << " mult=" << analysis::multiplicity_name(mult)
             << "  (budget per trial: " << budget << " interactions)\n";
   return 0;
 }

@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
     const core::Params params = core::Params::make(n, r);
     const auto res =
         analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
-          const auto run = analysis::stabilize_clean_engine(
+          const auto run = analysis::stabilize(
               engine, params, s, analysis::default_budget(params));
           return run.converged ? static_cast<double>(run.interactions) : -1.0;
         }, jobs);

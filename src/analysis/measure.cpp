@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "core/safety.hpp"
 #include "pp/batched_simulator.hpp"
@@ -40,27 +41,21 @@ StabilizationResult stabilize_from(const core::Params& params,
   return res;
 }
 
-StabilizationResult stabilize_clean(const core::Params& params,
-                                    std::uint64_t seed,
-                                    std::uint64_t max_interactions) {
-  core::ElectLeader protocol(params);
-  std::vector<core::Agent> config;
-  config.reserve(params.n);
-  for (std::uint32_t i = 0; i < params.n; ++i) {
-    config.push_back(protocol.initial_state(i));
-  }
-  return stabilize_from(params, std::move(config), seed, max_interactions);
-}
+namespace {
 
-StabilizationResult stabilize_clean_batched(const core::Params& params,
-                                            std::uint64_t seed,
-                                            std::uint64_t max_interactions) {
+/// Batched-engine counterpart of stabilize_from: advances a counts
+/// configuration until the (counts-native) safe predicate holds.
+StabilizationResult stabilize_counts_from(
+    const core::Params& params,
+    pp::CountsConfiguration<core::ElectLeader> config, std::uint64_t seed,
+    std::uint64_t max_interactions) {
   core::ElectLeader protocol(params);
-  pp::BatchedSimulator<core::ElectLeader> sim(protocol, seed);
+  pp::BatchedSimulator<core::ElectLeader> sim(protocol, std::move(config),
+                                              seed);
 
   const auto probe = [&](const pp::CountsConfiguration<core::ElectLeader>& c,
                          std::uint64_t) {
-    return core::is_safe_configuration(params, c.to_states());
+    return core::is_safe_configuration(params, c);
   };
   const auto run = sim.run_until(probe, max_interactions,
                                  /*probe_every=*/params.n);
@@ -72,6 +67,58 @@ StabilizationResult stabilize_clean_batched(const core::Params& params,
   res.leaders = static_cast<std::uint32_t>(
       sim.config().count_if(core::ElectLeader::is_leader));
   return res;
+}
+
+/// The protocol's clean initial configuration as a per-agent array.
+std::vector<core::Agent> clean_config(const core::Params& params) {
+  core::ElectLeader protocol(params);
+  std::vector<core::Agent> config;
+  config.reserve(params.n);
+  for (std::uint32_t i = 0; i < params.n; ++i) {
+    config.push_back(protocol.initial_state(i));
+  }
+  return config;
+}
+
+}  // namespace
+
+StabilizationResult stabilize(Engine engine, StartKind start,
+                              const core::Params& params,
+                              core::Corruption corruption, std::uint64_t seed,
+                              std::uint64_t max_interactions) {
+  if (start == StartKind::kClean) {
+    if (engine == Engine::kNaive) {
+      return stabilize_from(params, clean_config(params), seed,
+                            max_interactions);
+    }
+    core::ElectLeader protocol(params);
+    return stabilize_counts_from(
+        params, pp::CountsConfiguration<core::ElectLeader>(protocol), seed,
+        max_interactions);
+  }
+
+  // Adversarial start: both engines draw the same configuration from the
+  // same seed-derived stream (substream 77, distinct from the simulation
+  // streams), so the start distribution — in fact the start itself — is
+  // engine-independent.
+  util::Rng rng(util::substream(seed, 77));
+  auto config = core::make_adversarial_config(params, corruption, rng);
+  if (engine == Engine::kNaive) {
+    return stabilize_from(params, std::move(config), seed, max_interactions);
+  }
+  // Project the per-agent array onto state counts; only the multiset
+  // survives into the simulation (any agent labelling is dynamics-
+  // equivalent under the uniform scheduler).
+  pp::CountsConfiguration<core::ElectLeader> counts(config);
+  return stabilize_counts_from(params, std::move(counts), seed,
+                               max_interactions);
+}
+
+StabilizationResult stabilize(Engine engine, const core::Params& params,
+                              std::uint64_t seed,
+                              std::uint64_t max_interactions) {
+  return stabilize(engine, StartKind::kClean, params, core::Corruption::kNone,
+                   seed, max_interactions);
 }
 
 Engine engine_from_string(const std::string& name) {
@@ -87,6 +134,19 @@ const char* engine_name(Engine engine) {
   return engine == Engine::kNaive ? "naive" : "batched";
 }
 
+StartKind start_from_string(const std::string& name) {
+  if (name == "clean") return StartKind::kClean;
+  if (name == "adversarial") return StartKind::kAdversarial;
+  std::fprintf(stderr,
+               "error: --start=%s is not a valid start (clean|adversarial)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+const char* start_name(StartKind start) {
+  return start == StartKind::kClean ? "clean" : "adversarial";
+}
+
 core::MessageMultiplicity multiplicity_from_string(const std::string& name) {
   if (name == "faithful") return core::MessageMultiplicity::kFaithful;
   if (name == "light") return core::MessageMultiplicity::kLight;
@@ -99,24 +159,6 @@ core::MessageMultiplicity multiplicity_from_string(const std::string& name) {
 
 const char* multiplicity_name(core::MessageMultiplicity mult) {
   return mult == core::MessageMultiplicity::kFaithful ? "faithful" : "light";
-}
-
-StabilizationResult stabilize_clean_engine(Engine engine,
-                                           const core::Params& params,
-                                           std::uint64_t seed,
-                                           std::uint64_t max_interactions) {
-  return engine == Engine::kNaive
-             ? stabilize_clean(params, seed, max_interactions)
-             : stabilize_clean_batched(params, seed, max_interactions);
-}
-
-StabilizationResult stabilize_adversarial(const core::Params& params,
-                                          core::Corruption c,
-                                          std::uint64_t seed,
-                                          std::uint64_t max_interactions) {
-  util::Rng rng(util::substream(seed, 77));
-  auto config = core::make_adversarial_config(params, c, rng);
-  return stabilize_from(params, std::move(config), seed, max_interactions);
 }
 
 }  // namespace ssle::analysis

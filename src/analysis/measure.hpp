@@ -1,8 +1,19 @@
 // Stabilization / convergence measurement for ElectLeader_r and baselines.
+//
+// Every experiment funnels through ONE engine-generic entry point:
+//
+//   stabilize(engine, start, params, [corruption,] seed, budget)
+//
+// with engine ∈ {naive, batched} × start ∈ {clean, adversarial} — the full
+// measurement matrix of the paper (clean-start convergence, Theorem 1.1;
+// recovery from arbitrary corruption, Lemma 6.3).  The batched adversarial
+// path projects core::make_adversarial_config through the counts
+// representation (the per-agent array is counted into state classes and
+// discarded), so every adversarial figure can run on the batched engine at
+// n = 10^5+ instead of being stuck at naive-engine scale.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,45 +31,27 @@ struct StabilizationResult {
   std::uint32_t leaders = 0;  ///< leader count at the end
 };
 
-/// Runs ElectLeader_r from its clean initial configuration until the safe
-/// predicate holds (or the budget is exhausted).
-StabilizationResult stabilize_clean(const core::Params& params,
-                                    std::uint64_t seed,
-                                    std::uint64_t max_interactions);
-
-/// Runs ElectLeader_r from an adversarial configuration of class `c`.
-StabilizationResult stabilize_adversarial(const core::Params& params,
-                                          core::Corruption c,
-                                          std::uint64_t seed,
-                                          std::uint64_t max_interactions);
-
-/// Runs ElectLeader_r from an explicit configuration.
-StabilizationResult stabilize_from(const core::Params& params,
-                                   std::vector<core::Agent> config,
-                                   std::uint64_t seed,
-                                   std::uint64_t max_interactions);
-
-/// Same measurement as stabilize_clean but on the count-based batched
-/// engine (pp/batched_simulator.hpp).  Statistically equivalent to the
-/// naive engine.  core::Agent has a std::hash specialization, so the
-/// registry takes the O(1) hash-indexed path; but note ElectLeader_r has
-/// ≥ n distinct live states once FastLE identifiers are drawn, so the
-/// counts compress little for this protocol — the batched engine is the
-/// right tool for the uniform-scheduler sweeps at large n where the
-/// per-interaction block amortization (no O(n) agent array, no cache
-/// misses) dominates, and for cross-validation everywhere.
-StabilizationResult stabilize_clean_batched(const core::Params& params,
-                                            std::uint64_t seed,
-                                            std::uint64_t max_interactions);
-
-/// Which simulation engine a sweep should run ElectLeader_r on.  Graph-
-/// restricted workloads (pp::GraphScheduler) are naive-only by design.
+/// Which simulation engine a measurement should run ElectLeader_r on.
+/// Graph-restricted workloads (pp::GraphScheduler) are naive-only by
+/// design — pp::BatchedSimulator enforces that with a static_assert on
+/// its scheduler type.
 enum class Engine { kNaive, kBatched };
+
+/// Which initial configuration a measurement starts from: the protocol's
+/// clean initial configuration, or an adversarial configuration drawn by
+/// core::make_adversarial_config (self-stabilization quantifies over
+/// arbitrary starts).
+enum class StartKind { kClean, kAdversarial };
 
 /// Parses a `--engine=` CLI value ("naive" | "batched"); exits with a
 /// clear error on anything else.
 Engine engine_from_string(const std::string& name);
 const char* engine_name(Engine engine);
+
+/// Parses a `--start=` CLI value ("clean" | "adversarial"); exits with a
+/// clear error on anything else.
+StartKind start_from_string(const std::string& name);
+const char* start_name(StartKind start);
 
 /// Parses a `--mult=` CLI value ("faithful" | "light"); exits with a
 /// clear error on anything else (a typo'd "light" must not silently run
@@ -66,11 +59,40 @@ const char* engine_name(Engine engine);
 core::MessageMultiplicity multiplicity_from_string(const std::string& name);
 const char* multiplicity_name(core::MessageMultiplicity mult);
 
-/// Dispatches stabilize_clean / stabilize_clean_batched on `engine`.
-StabilizationResult stabilize_clean_engine(Engine engine,
-                                           const core::Params& params,
-                                           std::uint64_t seed,
-                                           std::uint64_t max_interactions);
+/// Runs ElectLeader_r on the chosen engine from the chosen start until the
+/// safe predicate holds (or the budget is exhausted).  `corruption` is
+/// consulted only for StartKind::kAdversarial; the adversarial
+/// configuration is drawn from a seed-derived stream, identically for both
+/// engines, so naive and batched runs start from the same distribution
+/// (the trajectories themselves agree statistically, never bit-wise).
+///
+/// Engine guidance: core::Agent hashes, so the batched registry always
+/// takes its indexed path, and its Fenwick-indexed block sampling costs
+/// O(L·log q) per length-L block even at q ≈ n distinct states — but
+/// ElectLeader_r keeps q ≈ n live states (FastLE identifiers, ranks), so
+/// counts compress little and per-interaction state copies/hashes remain;
+/// bench_parallel_sweep measures the honest wall-clock ratio.  The batched
+/// engine is what makes n = 10^5–10^6 rows executable and is strictly
+/// preferable for count-compressible workloads.
+StabilizationResult stabilize(Engine engine, StartKind start,
+                              const core::Params& params,
+                              core::Corruption corruption, std::uint64_t seed,
+                              std::uint64_t max_interactions);
+
+/// Clean-start convenience overload.  Deliberately takes no StartKind:
+/// an adversarial measurement must name its corruption class, so there
+/// is no way to ask for an adversarial start and silently get kNone.
+StabilizationResult stabilize(Engine engine, const core::Params& params,
+                              std::uint64_t seed,
+                              std::uint64_t max_interactions);
+
+/// Runs ElectLeader_r from an explicit per-agent configuration on the
+/// naive engine (the building block for mid-run-corruption tests and any
+/// measurement that needs agent identity).
+StabilizationResult stabilize_from(const core::Params& params,
+                                   std::vector<core::Agent> config,
+                                   std::uint64_t seed,
+                                   std::uint64_t max_interactions);
 
 /// A generous default interaction budget for (n, r):
 /// c · (n²/r) · log n, scaled to dominate the protocol's constants.

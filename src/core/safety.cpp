@@ -70,4 +70,33 @@ bool is_safe_configuration(const Params& params,
          message_system_consistent(params, config);
 }
 
+bool is_safe_configuration(const Params& params,
+                           const pp::CountsConfiguration<ElectLeader>& counts) {
+  if (counts.population_size() != params.n || params.n == 0) return false;
+  std::vector<bool> seen(params.n + 1, false);
+  bool ok = true;
+  bool first = true;
+  std::uint32_t generation = 0;
+  counts.for_each([&](const Agent& a, std::uint64_t count) {
+    if (!ok) return;
+    // count > 1 ⇒ two agents share a full state, hence a rank: not safe.
+    if (count != 1 || a.role != Role::kVerifying || a.rank < 1 ||
+        a.rank > params.n || seen[a.rank]) {
+      ok = false;
+      return;
+    }
+    seen[a.rank] = true;
+    if (first) {
+      generation = a.sv.generation;
+      first = false;
+    } else if (a.sv.generation != generation) {
+      ok = false;
+    }
+  });
+  // n agents, each count 1, no duplicate rank in [1, n] ⇒ the ranking is a
+  // permutation and the generations agree: (a) and (b) hold, so pay for
+  // the expansion only to run the message-system scan (c).
+  return ok && message_system_consistent(params, counts.to_states());
+}
+
 }  // namespace ssle::core

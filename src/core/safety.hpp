@@ -19,12 +19,12 @@
 #include <cstdint>
 
 #include "core/agent.hpp"
+#include "core/elect_leader.hpp"
 #include "core/params.hpp"
+#include "pp/counts.hpp"
 #include "pp/population.hpp"
 
 namespace ssle::core {
-
-class ElectLeader;
 
 /// Number of agents currently marked as leader (verifier with rank 1).
 std::uint32_t leader_count(const std::vector<Agent>& config);
@@ -43,5 +43,17 @@ bool message_system_consistent(const Params& params,
 /// The checkable-sufficient C_safe predicate described above.
 bool is_safe_configuration(const Params& params,
                            const std::vector<Agent>& config);
+
+/// Counts-native probe for the batched engine: decides exactly the same
+/// predicate as is_safe_configuration(params, counts.to_states()), but
+/// runs the multiset-checkable parts first — population size, every agent
+/// a verifier, every live state's count exactly 1 (in a safe
+/// configuration all ranks are distinct, so no full state repeats), ranks
+/// a permutation of [n], one shared generation — and only pays for the
+/// O(n) expansion that the message-system scan needs once those cheap
+/// checks pass.  During the unsafe bulk of a run, probes therefore cost
+/// O(q) counter reads instead of n deep Agent copies per probe.
+bool is_safe_configuration(const Params& params,
+                           const pp::CountsConfiguration<ElectLeader>& counts);
 
 }  // namespace ssle::core

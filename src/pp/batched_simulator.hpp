@@ -10,13 +10,24 @@
 //      already touched in this block (inverse-transform over the exact
 //      birthday survival probabilities ∏ (n-2t)(n-2t-1)/(n(n-1))).
 //   2. The L = T-1 collision-free interactions involve 2L *distinct* agents
-//      drawn uniformly without replacement, so their states are a
-//      multivariate hypergeometric draw from the counts; splitting them
-//      into initiators/responders and matching the two multisets are again
-//      sequential hypergeometric draws.  Each ordered state-pair type
-//      (A, B) with multiplicity m is then applied m times — or exactly
-//      once, with the counts updated in bulk, when the protocol declares
-//      `static constexpr bool kDeterministicInteract = true`.
+//      drawn uniformly without replacement.  Two interchangeable, exact
+//      samplers realize that draw (selected per block, see BlockSampling):
+//        * dense: the 2L states are a multivariate hypergeometric draw
+//          from the counts; splitting them into initiators/responders and
+//          matching the two multisets are again sequential hypergeometric
+//          draws.  Each ordered state-pair type (A, B) with multiplicity m
+//          is then applied m times — or exactly once, with the counts
+//          updated in bulk, when the protocol declares
+//          `static constexpr bool kDeterministicInteract = true`.
+//          Cost: O(q) per block for the registry scan plus O(L·min(L, q))
+//          matching — ideal when q ≪ n (few live states, e.g. epidemics).
+//        * Fenwick: agents are drawn one at a time through the registry's
+//          Fenwick index (pp/counts.hpp), consecutive draws pairing up as
+//          (initiator, responder) — exactly the scheduler's conditional
+//          law given no collision.  Cost: O(L·log q) per block with no
+//          O(q) term anywhere, which is what keeps q ≈ n registries
+//          (ElectLeader_r once identifiers/ranks spread) from paying an
+//          O(q/√n) = O(√n) tax on every interaction.
 //   3. The colliding interaction T is executed individually: conditioned on
 //      "at least one participant was already used", the pair is sampled
 //      from the tracked used/unused multisets, which is exact because agent
@@ -26,12 +37,11 @@
 // truncating a block at a probe boundary) reproduces the sequential
 // process's distribution exactly — BatchedSimulator and Simulator are
 // statistically indistinguishable, which tests/test_batched_simulator.cpp
-// checks empirically.  Expected block length is L = Θ(√n); each block
-// costs O(q) for the hypergeometric draw over the registry's q states
-// plus O(L·min(L, q)) for the initiator/responder matching (the matching
-// runs over the ≤ 2L classes actually drawn, not the full registry), so
-// per-interaction cost is O(q/√n + √n) amortized — no O(n) agent array,
-// no cache misses.
+// checks empirically, for both block samplers.  The two samplers draw
+// different amounts of randomness from the scheduler stream, so switching
+// BlockSampling changes per-seed trajectories; equivalence across samplers
+// (and against the naive engine) is statistical, never bit-identical.
+// Expected block length is L = Θ(√n).
 //
 // The API mirrors Simulator (`step`, `run_until`, RunResult, probe
 // semantics); predicates observe the CountsConfiguration instead of the
@@ -39,6 +49,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -47,10 +58,17 @@
 
 #include "pp/counts.hpp"
 #include "pp/protocol.hpp"
+#include "pp/scheduler.hpp"
 #include "pp/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace ssle::pp {
+
+/// How a block's 2L collision-free agents are sampled from the registry.
+/// kAuto picks per block: Fenwick when the registry scan would dominate
+/// (q large relative to L·log q), dense otherwise.  kDense / kFenwick pin
+/// one path — for tests and benchmarks; both are exact.
+enum class BlockSampling { kAuto, kDense, kFenwick };
 
 /// Exact draw from Hypergeometric(total, successes, draws): the number of
 /// "success" items in `draws` draws without replacement from a population
@@ -82,22 +100,35 @@ inline constexpr bool kBatchDeterministic = [] {
   }
 }();
 
-template <Protocol P>
+template <Protocol P, typename Sched = UniformScheduler>
 class BatchedSimulator {
+  // Graph-restricted scheduling is naive-only by design (README,
+  // analysis/measure.hpp): the projection onto state counts is a Markov
+  // chain only under a scheduler oblivious to agent identity, so the
+  // batched engine rejects every other scheduler at compile time.
+  static_assert(std::same_as<Sched, UniformScheduler>,
+                "BatchedSimulator is uniform-scheduler-only: the counts "
+                "projection is not Markov under identity-aware schedulers "
+                "(e.g. pp::GraphScheduler); graph-restricted workloads must "
+                "run on the naive pp::Simulator.");
+
  public:
   using State = typename P::State;
   using Config = CountsConfiguration<P>;
   using Predicate =
       std::function<bool(const Config&, std::uint64_t /*interactions*/)>;
 
-  BatchedSimulator(const P& protocol, Config config, std::uint64_t seed)
+  BatchedSimulator(const P& protocol, Config config, std::uint64_t seed,
+                   BlockSampling sampling = BlockSampling::kAuto)
       : protocol_(protocol),
         config_(std::move(config)),
         rng_(util::substream(seed, 1)),
-        agent_rng_(util::substream(seed, 2)) {}
+        agent_rng_(util::substream(seed, 2)),
+        sampling_(sampling) {}
 
-  BatchedSimulator(const P& protocol, std::uint64_t seed)
-      : BatchedSimulator(protocol, Config(protocol), seed) {}
+  BatchedSimulator(const P& protocol, std::uint64_t seed,
+                   BlockSampling sampling = BlockSampling::kAuto)
+      : BatchedSimulator(protocol, Config(protocol), seed, sampling) {}
 
   /// Executes exactly `count` interactions.  With fewer than two agents no
   /// pair exists and no interaction can change the configuration; steps
@@ -141,6 +172,11 @@ class BatchedSimulator {
   Config& config() { return config_; }
   const Config& config() const { return config_; }
   const P& protocol() const { return protocol_; }
+
+  /// How many blocks each sampler ran (benchmarks report which path a
+  /// workload actually exercised; tests pin kAuto's choice down).
+  std::uint64_t dense_blocks() const { return dense_blocks_; }
+  std::uint64_t fenwick_blocks() const { return fenwick_blocks_; }
 
  private:
   /// Builds log P(T > t), the log-survival of the first-collision time T,
@@ -202,18 +238,40 @@ class BatchedSimulator {
       }
     }
 
+    if (use_fenwick_block(config_.num_states(), L)) {
+      ++fenwick_blocks_;
+      run_block_fenwick(n, L, collided);
+    } else {
+      ++dense_blocks_;
+      run_block_dense(n, L, collided);
+    }
+    return L + (collided ? 1 : 0);
+  }
+
+  /// kAuto's per-block sampler choice.  Dense block sampling scans Θ(q)
+  /// registry entries (a heavyweight hypergeometric evaluation per visited
+  /// class); the Fenwick path pays ~2L tree descents of ~log2 q steps.
+  /// The factor 2 biases toward the dense path, which additionally enjoys
+  /// the bulk same-pair-type fast path for deterministic protocols.
+  bool use_fenwick_block(std::uint32_t q, std::uint64_t L) const {
+    if (sampling_ != BlockSampling::kAuto) {
+      return sampling_ == BlockSampling::kFenwick;
+    }
+    return static_cast<std::uint64_t>(q) >
+           2 * L * static_cast<std::uint64_t>(std::bit_width(q));
+  }
+
+  /// Dense sampler: 2L distinct agents without replacement as one
+  /// multivariate hypergeometric draw over the whole registry.  After the
+  /// initial draw, compact to the ≤ min(2L, q) classes actually drawn: the
+  /// initiator/responder split and matching then cost O(L·min(L, q))
+  /// instead of O(L·q).  Zero-count classes consume no randomness in
+  /// sample_hypergeometric, so the compaction leaves the RNG stream — and
+  /// therefore every result — bit-identical to the dense formulation.
+  void run_block_dense(std::uint64_t n, std::uint64_t L, bool collided) {
     const std::uint32_t q = config_.num_states();
     if (used_.size() < q) used_.resize(q, 0);
 
-    // 2. Collision-free block: 2L distinct agents without replacement.
-    // After the initial draw, compact to the ≤ min(2L, q) classes actually
-    // drawn: the initiator/responder split and matching then cost
-    // O(L·min(L, q)) instead of O(L·q).  Zero-count classes consume no
-    // randomness in sample_hypergeometric, so the compaction leaves the
-    // RNG stream — and therefore every result — bit-identical to the
-    // dense formulation.  This is what keeps registries with q ≈ n
-    // distinct states (ElectLeader_r once identifiers/ranks spread)
-    // runnable at n = 10^5–10^6.
     if (L > 0) {
       sample_multivariate_hypergeometric(rng_, config_.counts(), 2 * L, k_);
       nz_.clear();
@@ -246,12 +304,8 @@ class BatchedSimulator {
     if (collided) {
       const std::uint64_t used_total = 2 * L;
       const std::uint64_t unused_total = n - used_total;
-      const std::uint64_t w_uu = used_total * (used_total - 1);
-      const std::uint64_t w_ux = used_total * unused_total;
-      const std::uint64_t w_xu = unused_total * used_total;
-      const std::uint64_t pick = rng_.below(w_uu + w_ux + w_xu);
-      const bool init_used = pick < w_uu + w_ux;
-      const bool resp_used = pick < w_uu || pick >= w_uu + w_ux;
+      const auto [init_used, resp_used] =
+          pick_collision_sides(used_total, unused_total);
 
       const std::uint32_t ai =
           init_used ? draw_used(used_total) : draw_unused(unused_total);
@@ -277,7 +331,114 @@ class BatchedSimulator {
     }
 
     std::fill(used_.begin(), used_.end(), 0);
-    return L + (collided ? 1 : 0);
+  }
+
+  /// Fenwick sampler: the 2L distinct agents are drawn one at a time via
+  /// the registry's Fenwick index — each draw an O(log q) class search
+  /// plus an O(log q) count decrement — and consecutive draws pair up as
+  /// (initiator, responder) of one interaction, which is exactly the
+  /// uniform scheduler's conditional law given a collision-free prefix.
+  /// Outputs are parked in the used multiset until the block ends (they
+  /// must not be eligible for later in-block draws), so after the 2L
+  /// removals config_ *is* the unused multiset and the colliding
+  /// interaction samples used/unused pools directly.  Every piece of
+  /// per-block work is O(L·log q) or O(L): nothing scans the registry.
+  void run_block_fenwick(std::uint64_t n, std::uint64_t L, bool collided) {
+    seq_.clear();
+    for (std::uint64_t t = 0; t < 2 * L; ++t) {
+      const std::uint32_t idx = config_.sample_class(rng_.below(n - t));
+      config_.remove_at(idx, 1);
+      seq_.push_back(idx);
+    }
+    for (std::uint64_t t = 0; t < L; ++t) {
+      // Copy by value: record_used may grow the registry and invalidate
+      // references into it.
+      State sa = config_.state(seq_[2 * t]);
+      State sb = config_.state(seq_[2 * t + 1]);
+      protocol_.interact(sa, sb, agent_rng_);
+      record_used(sa, seq_[2 * t]);
+      record_used(sb, seq_[2 * t + 1]);
+    }
+
+    if (collided) {
+      const std::uint64_t used_total = 2 * L;
+      const std::uint64_t unused_total = n - used_total;
+      const auto [init_used, resp_used] =
+          pick_collision_sides(used_total, unused_total);
+
+      std::uint32_t ai, bi;
+      if (init_used) {
+        ai = draw_used_sparse(used_total);
+        if (resp_used) {
+          // Same pool: draw the responder without replacement.
+          used_[ai] -= 1;
+          bi = draw_used_sparse(used_total - 1);
+          used_[ai] += 1;
+        } else {
+          bi = config_.sample_class(rng_.below(unused_total));
+        }
+      } else {
+        ai = config_.sample_class(rng_.below(unused_total));
+        bi = draw_used_sparse(used_total);
+      }
+
+      State sa = config_.state(ai);
+      State sb = config_.state(bi);
+      if (init_used) used_[ai] -= 1; else config_.remove_at(ai, 1);
+      if (resp_used) used_[bi] -= 1; else config_.remove_at(bi, 1);
+      protocol_.interact(sa, sb, agent_rng_);
+      config_.add(sa, 1);
+      config_.add(sb, 1);
+    }
+
+    // Return the block's post-states to the configuration and clear the
+    // used multiset — touched entries only, never an O(q) sweep.
+    for (const std::uint32_t idx : touched_) {
+      if (used_[idx] > 0) config_.add_at(idx, used_[idx]);
+      used_[idx] = 0;
+    }
+    touched_.clear();
+  }
+
+  /// Which sides of the colliding interaction come from the used pool:
+  /// conditioned on "at least one participant used", the ordered pair is
+  /// (used, used) / (used, unused) / (unused, used) with weights
+  /// u(u-1) / u·x / x·u.  Shared by both block samplers — this is
+  /// exactness-critical probability code and must never diverge between
+  /// the paths.
+  std::pair<bool, bool> pick_collision_sides(std::uint64_t used_total,
+                                             std::uint64_t unused_total) {
+    const std::uint64_t w_uu = used_total * (used_total - 1);
+    const std::uint64_t w_ux = used_total * unused_total;
+    const std::uint64_t w_xu = unused_total * used_total;
+    const std::uint64_t pick = rng_.below(w_uu + w_ux + w_xu);
+    const bool init_used = pick < w_uu + w_ux;
+    const bool resp_used = pick < w_uu || pick >= w_uu + w_ux;
+    return {init_used, resp_used};
+  }
+
+  /// Tracks one output agent of the running block in the used multiset
+  /// without returning it to the configuration yet.  `src_idx` is the
+  /// registry entry the agent was drawn from: when the interaction left
+  /// the state unchanged — the common case for rich protocols — one
+  /// equality check (early-exit) replaces the full hash + map lookup.
+  void record_used(const State& s, std::uint32_t src_idx) {
+    const std::uint32_t idx =
+        s == config_.state(src_idx) ? src_idx : config_.index_of(s);
+    if (used_.size() <= idx) used_.resize(idx + 1, 0);
+    if (used_[idx] == 0) touched_.push_back(idx);
+    used_[idx] += 1;
+  }
+
+  /// Uniform state draw from the used multiset, scanning only the ≤ 2L
+  /// touched registry entries (total must be the multiset's size).
+  std::uint32_t draw_used_sparse(std::uint64_t total) {
+    std::uint64_t pos = rng_.below(total);
+    for (const std::uint32_t idx : touched_) {
+      if (pos < used_[idx]) return idx;
+      pos -= used_[idx];
+    }
+    return touched_.back();  // unreachable
   }
 
   /// Applies δ to `m` pairs whose (initiator, responder) states are the
@@ -292,36 +453,45 @@ class BatchedSimulator {
       State sa = proto_a;
       State sb = proto_b;
       protocol_.interact(sa, sb, agent_rng_);
-      record_output(sa, m);
-      record_output(sb, m);
+      record_output(sa, m, a);
+      record_output(sb, m, b);
     } else {
       for (std::uint64_t i = 0; i < m; ++i) {
         State sa = proto_a;
         State sb = proto_b;
         protocol_.interact(sa, sb, agent_rng_);
-        record_output(sa, 1);
-        record_output(sb, 1);
+        record_output(sa, 1, a);
+        record_output(sb, 1, b);
       }
     }
   }
 
   /// Long runs leave behind zero-count registry entries (states the
-  /// population moved through); once they dominate, drop them so the O(q)
-  /// sampling scans track the number of *live* states.  Safe between
-  /// blocks because all block-local indices (used_, scratch) are dead.
+  /// population moved through); once they dominate, drop them so sampling
+  /// and the Fenwick depth track the number of *live* states.  The
+  /// registry counts its live entries incrementally, so the decision is
+  /// O(1) per block.  Safe between blocks because all block-local indices
+  /// (used_, scratch) are dead.
   void maybe_compact() {
     const std::uint32_t q = config_.num_states();
     if (q < 32) return;
-    std::uint32_t live = 0;
-    for (std::uint32_t i = 0; i < q; ++i) live += config_.count(i) > 0;
-    if (2 * live <= q) {
+    if (2 * config_.num_live_states() <= q) {
       config_.compact();
       used_.assign(config_.num_states(), 0);
     }
   }
 
-  void record_output(const State& s, std::uint64_t m) {
-    const std::uint32_t idx = config_.add(s, m);
+  /// Returns m output agents to the configuration and the used multiset.
+  /// `src_idx` is the registry entry the inputs came from; an unchanged
+  /// state skips the hash + map lookup inside add().
+  void record_output(const State& s, std::uint64_t m, std::uint32_t src_idx) {
+    std::uint32_t idx;
+    if (s == config_.state(src_idx)) {
+      config_.add_at(src_idx, m);
+      idx = src_idx;
+    } else {
+      idx = config_.add(s, m);
+    }
     if (used_.size() <= idx) used_.resize(idx + 1, 0);
     used_[idx] += m;
   }
@@ -353,13 +523,17 @@ class BatchedSimulator {
   Config config_;
   util::Rng rng_;        ///< scheduler randomness (block structure, pairs)
   util::Rng agent_rng_;  ///< transition-function randomness
+  BlockSampling sampling_ = BlockSampling::kAuto;
   std::uint64_t interactions_ = 0;
+  std::uint64_t dense_blocks_ = 0;
+  std::uint64_t fenwick_blocks_ = 0;
 
   std::vector<double> log_survival_;  ///< log P(first collision > t), Θ(√n)
 
   // Scratch buffers.  used_ and k_ are indexed like the registry; nz_
   // lists the registry indices drawn this block, and init_/resp_/match_
-  // are indexed like nz_ (compact, ≤ 2L entries).
+  // are indexed like nz_ (compact, ≤ 2L entries).  seq_ and touched_
+  // belong to the Fenwick path (drawn-agent sequence, used-entry list).
   std::vector<std::uint64_t> used_;   ///< post-states of this block's agents
   std::vector<std::uint64_t> k_;      ///< sampled state totals (2L agents)
   std::vector<std::uint32_t> nz_;     ///< registry indices with k_[i] > 0
@@ -367,6 +541,8 @@ class BatchedSimulator {
   std::vector<std::uint64_t> init_;   ///< initiator split
   std::vector<std::uint64_t> resp_;   ///< responder pool (consumed)
   std::vector<std::uint64_t> match_;  ///< per-initiator-state matching
+  std::vector<std::uint32_t> seq_;      ///< Fenwick path: drawn classes, 2L
+  std::vector<std::uint32_t> touched_;  ///< Fenwick path: used_ support
 };
 
 }  // namespace ssle::pp

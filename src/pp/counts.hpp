@@ -15,8 +15,18 @@
 // This is the representation the batched engine (pp/batched_simulator.hpp)
 // advances with hypergeometric draws; at n = 10^6+ it replaces a
 // multi-megabyte agent array with a handful of counters.
+//
+// A Fenwick (binary indexed) tree over the counts is maintained alongside
+// the registry: every add/remove is an O(log q) point update, and
+// `sample_class(pos)` resolves "which class holds the pos-th agent in
+// cumulative-count order" in O(log q) by descending the tree.  That turns
+// a uniform agent draw (the primitive behind without-replacement block
+// sampling and adversarial churn) into a logarithmic operation instead of
+// an O(q) scan — the difference between O(q) and O(L·log q) per block for
+// registries with q ≈ n distinct states (ElectLeader_r).
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -64,6 +74,10 @@ class CountsConfiguration {
     return static_cast<std::uint32_t>(states_.size());
   }
 
+  /// Number of registry entries with a nonzero count, tracked
+  /// incrementally (so compaction decisions cost O(1), not O(q)).
+  std::uint32_t num_live_states() const { return live_; }
+
   const State& state(std::uint32_t idx) const { return states_[idx]; }
   std::uint64_t count(std::uint32_t idx) const { return counts_[idx]; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
@@ -89,6 +103,7 @@ class CountsConfiguration {
       if (inserted) {
         states_.push_back(s);
         counts_.push_back(0);
+        tree_append();
       }
       return it->second;
     } else {
@@ -97,6 +112,7 @@ class CountsConfiguration {
       }
       states_.push_back(s);
       counts_.push_back(0);
+      tree_append();
       return static_cast<std::uint32_t>(states_.size() - 1);
     }
   }
@@ -104,9 +120,16 @@ class CountsConfiguration {
   /// Adds k agents in state s; returns the state's index.
   std::uint32_t add(const State& s, std::uint64_t k) {
     const std::uint32_t idx = index_of(s);
+    add_at(idx, k);
+    return idx;
+  }
+
+  /// Adds k agents to the already-registered state at idx.
+  void add_at(std::uint32_t idx, std::uint64_t k) {
+    if (counts_[idx] == 0 && k > 0) ++live_;
     counts_[idx] += k;
     total_ += k;
-    return idx;
+    tree_add(idx, k);
   }
 
   /// Removes k agents from the state at idx (k must not exceed the count).
@@ -114,6 +137,37 @@ class CountsConfiguration {
     assert(counts_[idx] >= k);
     counts_[idx] -= k;
     total_ -= k;
+    if (counts_[idx] == 0 && k > 0) --live_;
+    tree_sub(idx, k);
+  }
+
+  /// Total count of the registry entries [0, idx) — the cumulative rank of
+  /// entry idx in registry order.  O(log q) via the Fenwick tree.
+  std::uint64_t prefix_count(std::uint32_t idx) const {
+    std::uint64_t sum = 0;
+    for (std::uint32_t j = idx; j > 0; j -= j & (~j + 1u)) sum += tree_[j];
+    return sum;
+  }
+
+  /// The class holding the pos-th agent (0-based) when agents are laid out
+  /// in registry cumulative-count order: the unique idx with
+  /// prefix_count(idx) <= pos < prefix_count(idx + 1).  Drawing
+  /// pos uniformly from [0, population_size()) therefore samples a class
+  /// with probability proportional to its count — a uniform agent draw —
+  /// in O(log q) (Fenwick descent) instead of an O(q) scan.  Never returns
+  /// a zero-count class.  Requires pos < population_size().
+  std::uint32_t sample_class(std::uint64_t pos) const {
+    assert(pos < total_);
+    std::uint32_t idx = 0;
+    const auto size = static_cast<std::uint32_t>(tree_.size() - 1);
+    for (std::uint32_t bit = std::bit_floor(size); bit != 0; bit >>= 1) {
+      const std::uint32_t next = idx + bit;
+      if (next <= size && tree_[next] <= pos) {
+        idx = next;
+        pos -= tree_[next];
+      }
+    }
+    return idx;
   }
 
   /// Applies f(state, count) to every state with a nonzero count.
@@ -164,13 +218,52 @@ class CountsConfiguration {
       index_.clear();
       for (std::uint32_t i = 0; i < states_.size(); ++i) index_[states_[i]] = i;
     }
+    rebuild_tree();
   }
 
  private:
+  // Fenwick tree over counts_, 1-indexed (tree_[0] unused): tree_[j] holds
+  // the sum of counts_[j - lowbit(j) .. j - 1].
+  void tree_add(std::uint32_t idx, std::uint64_t k) {
+    const auto size = static_cast<std::uint32_t>(tree_.size() - 1);
+    for (std::uint32_t j = idx + 1; j <= size; j += j & (~j + 1u)) {
+      tree_[j] += k;
+    }
+  }
+
+  void tree_sub(std::uint32_t idx, std::uint64_t k) {
+    const auto size = static_cast<std::uint32_t>(tree_.size() - 1);
+    for (std::uint32_t j = idx + 1; j <= size; j += j & (~j + 1u)) {
+      tree_[j] -= k;
+    }
+  }
+
+  /// Extends the tree for a just-registered entry (count 0): the new node
+  /// covers the trailing lowbit(j) entries, whose sum is a prefix
+  /// difference — O(log q), so registering states stays cheap.
+  void tree_append() {
+    const auto j = static_cast<std::uint32_t>(counts_.size());
+    const std::uint32_t lb = j & (~j + 1u);
+    tree_.push_back(prefix_count(j - 1) - prefix_count(j - lb));
+  }
+
+  void rebuild_tree() {
+    tree_.assign(counts_.size() + 1, 0);
+    live_ = 0;
+    for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) {
+        ++live_;
+        tree_add(i, counts_[i]);
+      }
+    }
+  }
+
   struct Empty {};
   std::vector<State> states_;
   std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> tree_{0};  ///< Fenwick tree over counts_
   std::uint64_t total_ = 0;
+  std::uint32_t live_ = 0;  ///< number of nonzero counts_ entries
   [[no_unique_address]] std::conditional_t<
       HashableState<State>, std::unordered_map<State, std::uint32_t>, Empty>
       index_;

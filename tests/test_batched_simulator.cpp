@@ -153,9 +153,11 @@ std::uint64_t epidemic_time_naive(std::uint32_t n, std::uint64_t seed) {
   return r.interactions;
 }
 
-std::uint64_t epidemic_time_batched(std::uint32_t n, std::uint64_t seed) {
+std::uint64_t epidemic_time_batched(
+    std::uint32_t n, std::uint64_t seed,
+    BlockSampling sampling = BlockSampling::kAuto) {
   Epidemic proto{n};
-  BatchedSimulator<Epidemic> sim(proto, seed);
+  BatchedSimulator<Epidemic> sim(proto, seed, sampling);
   const auto r = sim.run_until(
       [](const CountsConfiguration<Epidemic>& c, std::uint64_t) {
         return c.count_of(1) == c.population_size();
@@ -201,6 +203,106 @@ TEST(BatchedEquivalence, EpidemicConvergenceTimesMatch) {
   EXPECT_LT(sb.sd, 1.6 * sn.sd);
 }
 
+// ---------------------------------------------------------------------------
+// Fenwick block sampler: forced-path statistical equivalence.  The Fenwick
+// path draws the 2L block agents sequentially through the registry index
+// and defers outputs until the block ends — a different (and differently
+// random) realization of the same block law, so it must match the naive
+// engine in distribution just like the dense path does.
+// ---------------------------------------------------------------------------
+
+TEST(FenwickPath, EpidemicConvergenceTimesMatchNaive) {
+  const std::uint32_t n = 48;
+  const int trials = 300;
+  std::vector<std::uint64_t> naive, fenwick;
+  naive.reserve(trials);
+  fenwick.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    naive.push_back(epidemic_time_naive(n, 1000 + t));
+    fenwick.push_back(
+        epidemic_time_batched(n, 40000 + t, BlockSampling::kFenwick));
+  }
+  const auto sn = stats_of(naive);
+  const auto sb = stats_of(fenwick);
+  // Same band as the dense-path test: ≈3.7σ for the mean gap at 300 trials.
+  EXPECT_NEAR(sn.mean, sb.mean, 12.0)
+      << "naive mean=" << sn.mean << " fenwick mean=" << sb.mean;
+  EXPECT_GT(sb.sd, 0.6 * sn.sd);
+  EXPECT_LT(sb.sd, 1.6 * sn.sd);
+}
+
+TEST(FenwickPath, TinyPopulationLawMatches) {
+  // n = 4 makes within-block collisions the common case, stressing the
+  // Fenwick path's deferred-output used/unused collision sampling.
+  const std::uint32_t n = 4;
+  const int trials = 3000;
+  std::map<std::uint64_t, int> pmf_naive, pmf_fenwick;
+  for (int t = 0; t < trials; ++t) {
+    ++pmf_naive[epidemic_time_naive(n, 20000 + t)];
+    ++pmf_fenwick[
+        epidemic_time_batched(n, 90000 + t, BlockSampling::kFenwick)];
+  }
+  double tv = 0.0;
+  std::map<std::uint64_t, double> diff;
+  for (const auto& [k, c] : pmf_naive) diff[k] += static_cast<double>(c) / trials;
+  for (const auto& [k, c] : pmf_fenwick) diff[k] -= static_cast<double>(c) / trials;
+  for (const auto& [k, d] : diff) tv += std::abs(d);
+  tv /= 2.0;
+  EXPECT_LT(tv, 0.1) << "total variation distance " << tv;
+}
+
+TEST(FenwickPath, DeterministicGivenSeed) {
+  Epidemic proto{256};
+  BatchedSimulator<Epidemic> a(proto, 9, BlockSampling::kFenwick);
+  BatchedSimulator<Epidemic> b(proto, 9, BlockSampling::kFenwick);
+  a.step(5000);
+  b.step(5000);
+  EXPECT_EQ(a.config().count_of(1), b.config().count_of(1));
+  EXPECT_EQ(a.config().count_of(0), b.config().count_of(0));
+  EXPECT_GT(a.fenwick_blocks(), 0u);
+  EXPECT_EQ(a.dense_blocks(), 0u);
+}
+
+namespace {
+
+/// Identity protocol over n distinct states: q stays ≈ n forever, the
+/// regime the Fenwick sampler exists for.
+struct DistinctIdentity {
+  using State = int;
+  static constexpr bool kDeterministicInteract = true;
+  std::uint32_t n;
+  std::uint32_t population_size() const { return n; }
+  State initial_state(std::uint32_t agent) const {
+    return static_cast<int>(agent);
+  }
+  void interact(State&, State&, util::Rng&) const {}
+};
+
+}  // namespace
+
+TEST(FenwickPath, AutoHeuristicPicksFenwickWhenRegistryIsWide) {
+  // q = n = 4096 distinct states vs blocks of L ≈ √(πn)/2 ≈ 57: the scan
+  // cost q dwarfs 2L·log2 q, so kAuto must route (almost) every block
+  // through the Fenwick sampler.
+  DistinctIdentity proto{4096};
+  BatchedSimulator<DistinctIdentity> sim(proto, 21);
+  sim.step(20000);
+  EXPECT_EQ(sim.config().population_size(), 4096u);
+  EXPECT_EQ(sim.config().num_live_states(), 4096u);
+  EXPECT_GT(sim.fenwick_blocks(), 0u);
+  EXPECT_GT(sim.fenwick_blocks(), 10 * sim.dense_blocks());
+}
+
+TEST(FenwickPath, AutoHeuristicKeepsDenseForNarrowRegistries) {
+  // Two live states (epidemic): the dense hypergeometric path with its
+  // bulk same-pair fast path is strictly better; kAuto must keep it.
+  Epidemic proto{4096};
+  BatchedSimulator<Epidemic> sim(proto, 22);
+  sim.step(20000);
+  EXPECT_GT(sim.dense_blocks(), 0u);
+  EXPECT_EQ(sim.fenwick_blocks(), 0u);
+}
+
 TEST(BatchedEquivalence, TinyPopulationLawMatches) {
   // n = 4 makes within-block collisions the common case, stressing the
   // used/unused collision sampling; compare the whole empirical law of the
@@ -227,14 +329,16 @@ TEST(BatchedEquivalence, TinyPopulationLawMatches) {
 
 double elect_leader_time_naive(const core::Params& params, std::uint64_t seed,
                                std::uint64_t budget) {
-  const auto res = analysis::stabilize_clean(params, seed, budget);
+  const auto res =
+      analysis::stabilize(analysis::Engine::kNaive, params, seed, budget);
   EXPECT_TRUE(res.converged);
   return res.parallel_time;
 }
 
 double elect_leader_time_batched(const core::Params& params,
                                  std::uint64_t seed, std::uint64_t budget) {
-  const auto res = analysis::stabilize_clean_batched(params, seed, budget);
+  const auto res =
+      analysis::stabilize(analysis::Engine::kBatched, params, seed, budget);
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(res.leaders, 1u);
   return res.parallel_time;

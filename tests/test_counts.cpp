@@ -68,6 +68,115 @@ TEST(Counts, CountIfAndForEach) {
 }
 
 // ---------------------------------------------------------------------------
+// Fenwick index: point update / prefix query / sampled-class agreement.
+// ---------------------------------------------------------------------------
+
+/// Reference for sample_class: linear scan over the counts.
+template <typename Config>
+std::uint32_t sample_class_dense(const Config& config, std::uint64_t pos) {
+  for (std::uint32_t i = 0; i < config.num_states(); ++i) {
+    if (pos < config.count(i)) return i;
+    pos -= config.count(i);
+  }
+  ADD_FAILURE() << "pos beyond population";
+  return 0;
+}
+
+/// Checks prefix_count and sample_class against dense scans, everywhere.
+template <typename Config>
+void expect_index_consistent(const Config& config) {
+  std::uint64_t cumulative = 0;
+  for (std::uint32_t i = 0; i < config.num_states(); ++i) {
+    EXPECT_EQ(config.prefix_count(i), cumulative) << "prefix at " << i;
+    cumulative += config.count(i);
+  }
+  EXPECT_EQ(config.prefix_count(config.num_states()), cumulative);
+  EXPECT_EQ(cumulative, config.population_size());
+  for (std::uint64_t pos = 0; pos < config.population_size(); ++pos) {
+    EXPECT_EQ(config.sample_class(pos), sample_class_dense(config, pos))
+        << "pos " << pos;
+  }
+}
+
+TEST(Fenwick, PrefixAndSampleAgreeWithDenseScan) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  config.add(10, 3);
+  config.add(20, 0);  // registered, zero count
+  config.add(30, 5);
+  config.add(40, 1);
+  expect_index_consistent(config);
+}
+
+TEST(Fenwick, PointUpdatesKeepTheIndexExact) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  util::Rng rng(99);
+  std::vector<std::uint32_t> idx;
+  for (int s = 0; s < 37; ++s) {
+    idx.push_back(config.add(s, rng.below(9)));
+  }
+  expect_index_consistent(config);
+  // Interleave adds and removes, re-checking the whole index each round.
+  for (int round = 0; round < 50; ++round) {
+    const auto i = idx[static_cast<std::size_t>(rng.below(idx.size()))];
+    if (rng.coin() && config.count(i) > 0) {
+      config.remove_at(i, 1 + rng.below(config.count(i)));
+    } else {
+      config.add_at(i, 1 + rng.below(4));
+    }
+  }
+  expect_index_consistent(config);
+}
+
+TEST(Fenwick, GrowthAppendsKeepTheIndexExact) {
+  // Appending entries exercises tree_append for every lowbit shape
+  // (including power-of-two boundaries, whose node spans the whole tree).
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  for (int s = 0; s < 70; ++s) {
+    config.add(s, static_cast<std::uint64_t>(s % 4));  // some zero counts
+    expect_index_consistent(config);
+  }
+}
+
+TEST(Fenwick, CompactRebuildsTheIndex) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  for (int s = 0; s < 20; ++s) config.add(s, s % 3 == 0 ? 0 : 2);
+  config.compact();
+  expect_index_consistent(config);
+  config.add(100, 7);
+  expect_index_consistent(config);
+}
+
+TEST(Fenwick, LiveStateCountTracksNonzeroEntries) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  EXPECT_EQ(config.num_live_states(), 0u);
+  const auto a = config.add(1, 4);
+  const auto b = config.add(2, 1);
+  config.index_of(3);  // registered with count 0: not live
+  EXPECT_EQ(config.num_states(), 3u);
+  EXPECT_EQ(config.num_live_states(), 2u);
+  config.remove_at(b, 1);
+  EXPECT_EQ(config.num_live_states(), 1u);
+  config.add_at(b, 2);
+  EXPECT_EQ(config.num_live_states(), 2u);
+  config.remove_at(a, 4);
+  config.compact();
+  EXPECT_EQ(config.num_states(), 1u);
+  EXPECT_EQ(config.num_live_states(), 1u);
+}
+
+TEST(Fenwick, SampleClassNeverReturnsZeroCountEntries) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  config.add(0, 2);
+  config.add(1, 0);
+  config.add(2, 3);
+  config.add(3, 0);
+  for (std::uint64_t pos = 0; pos < config.population_size(); ++pos) {
+    const auto idx = config.sample_class(pos);
+    EXPECT_GT(config.count(idx), 0u) << "pos " << pos;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Engine edge cases on degenerate populations.
 // ---------------------------------------------------------------------------
 
