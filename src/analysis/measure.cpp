@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "core/derandomized.hpp"
 #include "core/safety.hpp"
 #include "pp/batched_simulator.hpp"
 #include "pp/simulator.hpp"
@@ -119,6 +120,81 @@ StabilizationResult stabilize(Engine engine, const core::Params& params,
                               std::uint64_t max_interactions) {
   return stabilize(engine, StartKind::kClean, params, core::Corruption::kNone,
                    seed, max_interactions);
+}
+
+namespace {
+
+/// Safety probe for the derandomized protocol's counts projection: the
+/// multiset-checkable parts run first (every agent a verifier; in a safe
+/// configuration all ranks — hence all agents — are distinct, so every
+/// live class must have count 1), and only then is the O(n) agent
+/// expansion paid for the message-system scan.
+bool derandomized_counts_safe(
+    const core::Params& params,
+    const pp::CountsConfiguration<core::DerandomizedElectLeader>& counts) {
+  if (counts.population_size() != params.n) return false;
+  if (counts.num_live_states() != params.n) return false;
+  bool all_verifiers = true;
+  counts.for_each([&](const core::DerandomizedElectLeader::State& s,
+                      std::uint64_t c) {
+    all_verifiers &= c == 1 && s.agent.role == core::Role::kVerifying;
+  });
+  if (!all_verifiers) return false;
+  std::vector<core::Agent> agents;
+  agents.reserve(params.n);
+  counts.for_each([&](const core::DerandomizedElectLeader::State& s,
+                      std::uint64_t c) {
+    for (std::uint64_t i = 0; i < c; ++i) agents.push_back(s.agent);
+  });
+  return core::is_safe_configuration(params, agents);
+}
+
+}  // namespace
+
+StabilizationResult stabilize_derandomized(Engine engine,
+                                           const core::Params& params,
+                                           std::uint64_t seed,
+                                           std::uint64_t max_interactions) {
+  core::DerandomizedElectLeader protocol(params);
+  StabilizationResult res;
+  if (engine == Engine::kNaive) {
+    pp::Simulator<core::DerandomizedElectLeader> sim(protocol, seed);
+    const auto probe =
+        [&](const pp::Population<core::DerandomizedElectLeader>& pop,
+            std::uint64_t) {
+          std::vector<core::Agent> agents;
+          agents.reserve(pop.size());
+          for (std::uint32_t i = 0; i < pop.size(); ++i) {
+            if (pop[i].agent.role != core::Role::kVerifying) return false;
+            agents.push_back(pop[i].agent);
+          }
+          return core::is_safe_configuration(params, agents);
+        };
+    const auto run = sim.run_until(probe, max_interactions,
+                                   /*probe_every=*/params.n);
+    res.converged = run.converged;
+    res.interactions = run.interactions;
+    res.parallel_time = run.parallel_time(params.n);
+    res.leaders = 0;
+    for (std::uint32_t i = 0; i < params.n; ++i) {
+      res.leaders += core::DerandomizedElectLeader::is_leader(
+          sim.population()[i]);
+    }
+    return res;
+  }
+
+  pp::BatchedSimulator<core::DerandomizedElectLeader> sim(protocol, seed);
+  const auto probe =
+      [&](const pp::CountsConfiguration<core::DerandomizedElectLeader>& c,
+          std::uint64_t) { return derandomized_counts_safe(params, c); };
+  const auto run = sim.run_until(probe, max_interactions,
+                                 /*probe_every=*/params.n);
+  res.converged = run.converged;
+  res.interactions = run.interactions;
+  res.parallel_time = run.parallel_time(params.n);
+  res.leaders = static_cast<std::uint32_t>(
+      sim.config().count_if(core::DerandomizedElectLeader::is_leader));
+  return res;
 }
 
 Engine engine_from_string(const std::string& name) {

@@ -86,6 +86,18 @@ StabilizationResult stabilize(Engine engine, const core::Params& params,
                               std::uint64_t seed,
                               std::uint64_t max_interactions);
 
+/// Runs core::DerandomizedElectLeader (paper App. B: ElectLeader_r with a
+/// *deterministic* transition function) from a clean start on the chosen
+/// engine until the safe predicate holds.  On the batched engine the
+/// deterministic-δ opt-in routes every interaction through the memoized
+/// (id, id) → (id, id) transition cache (pp/delta_cache.hpp) — this is the
+/// measurement entry point for that path, used by bench_parallel_sweep §5
+/// and the CI smoke.
+StabilizationResult stabilize_derandomized(Engine engine,
+                                           const core::Params& params,
+                                           std::uint64_t seed,
+                                           std::uint64_t max_interactions);
+
 /// Runs ElectLeader_r from an explicit per-agent configuration on the
 /// naive engine (the building block for mid-run-corruption tests and any
 /// measurement that needs agent identity).

@@ -23,6 +23,10 @@ class FightLeaderElection {
     friend bool operator==(const State&, const State&) = default;
   };
 
+  /// δ consumes no randomness: the batched engine may bulk-apply and
+  /// memoize transitions over interned class ids (pp/protocol.hpp).
+  static constexpr bool kDeterministicInteract = true;
+
   explicit FightLeaderElection(std::uint32_t n) : n_(n) {}
 
   std::uint32_t population_size() const { return n_; }

@@ -32,6 +32,11 @@ class LooseLeaderElection {
     friend bool operator==(const State&, const State&) = default;
   };
 
+  /// δ consumes no randomness (the timeout/oscillator rules are pure
+  /// functions of the two states): the batched engine may bulk-apply and
+  /// memoize transitions over interned class ids (pp/protocol.hpp).
+  static constexpr bool kDeterministicInteract = true;
+
   /// τ = timeout_scale · log2(n); holding time grows with timeout_scale.
   explicit LooseLeaderElection(std::uint32_t n, std::uint32_t timeout_scale = 16);
 

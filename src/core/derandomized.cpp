@@ -14,16 +14,20 @@ std::uint64_t harvest(SyntheticCoin& coin) { return coin.sample(); }
 DerandomizedElectLeader::DerandomizedElectLeader(Params params)
     : inner_(std::move(params)) {}
 
-DerandomizedElectLeader::State DerandomizedElectLeader::initial_state(
-    std::uint32_t agent) const {
+DerandomizedElectLeader::State DerandomizedElectLeader::wrap_agent(
+    Agent agent, const Params& params, std::uint32_t index) {
   // Coin space: the largest value any sub-protocol draws is the identifier
   // space [n³] (App. D.2); signatures ([m⁵] capped) are smaller.
-  State s{inner_.initial_state(agent),
-          SyntheticCoin(inner_.params().identifier_space)};
-  // Stagger the alternating coins: agent parity seeds the initial flip, so
+  State s{std::move(agent), SyntheticCoin(params.identifier_space)};
+  // Stagger the alternating coins: slot parity seeds the initial flip, so
   // the coin population starts balanced (the BFKK drift then keeps it so).
-  if (agent % 2 == 1) s.coin.observe(agent % 4 == 1);
+  if (index % 2 == 1) s.coin.observe(index % 4 == 1);
   return s;
+}
+
+DerandomizedElectLeader::State DerandomizedElectLeader::initial_state(
+    std::uint32_t agent) const {
+  return wrap_agent(inner_.initial_state(agent), inner_.params(), agent);
 }
 
 void DerandomizedElectLeader::interact(State& u, State& v,

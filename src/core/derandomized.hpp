@@ -30,10 +30,27 @@ class DerandomizedElectLeader {
   struct State {
     Agent agent;
     SyntheticCoin coin;
-    friend bool operator==(const State& a, const State& b) {
-      return a.agent == b.agent;  // coins are auxiliary randomness state
-    }
+    /// Full-state equality, coin included: δ reads and mutates the coin,
+    /// so count-based lumping is only exact if class identity
+    /// distinguishes coin states too (two agents with equal Agent parts
+    /// but different coin buffers have different futures).
+    friend bool operator==(const State&, const State&) = default;
   };
+
+  /// δ is a pure function (State × State) → (State × State) — all entropy
+  /// comes from the scheduler — so the batched engine may apply one
+  /// transition result to a whole same-pair block and memoize transitions
+  /// as an (id, id) → (id, id) lookup over interned class ids
+  /// (pp/delta_cache.hpp).  This is the protocol the memoized path exists
+  /// for: the paper's formally-deterministic presentation of ElectLeader_r.
+  static constexpr bool kDeterministicInteract = true;
+
+  /// Wraps an Agent with this protocol's initial synthetic coin for the
+  /// population slot `index` (parity-staggered so the coin population
+  /// starts balanced).  initial_state and the benches' adversarial-start
+  /// construction share this, so the stagger rule lives in one place.
+  static State wrap_agent(Agent agent, const Params& params,
+                          std::uint32_t index);
 
   explicit DerandomizedElectLeader(Params params);
 
@@ -55,3 +72,19 @@ class DerandomizedElectLeader {
 };
 
 }  // namespace ssle::core
+
+/// Hashes exactly what operator== compares (Agent AND coin), so equal
+/// states hash equal.  Switches
+/// pp::CountsConfiguration<DerandomizedElectLeader> onto the interner's
+/// O(1) hash-indexed path — without this the registry falls back to O(q)
+/// linear scans, which is untenable at the q ≈ n scales the memoized
+/// transition cache targets.
+template <>
+struct std::hash<ssle::core::DerandomizedElectLeader::State> {
+  std::size_t operator()(
+      const ssle::core::DerandomizedElectLeader::State& s) const noexcept {
+    std::size_t h = ssle::core::hash_value(s.agent);
+    ssle::util::hash_mix(h, s.coin.hash());
+    return h;
+  }
+};

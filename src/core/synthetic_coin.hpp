@@ -13,6 +13,7 @@
 // requirement from §1.1.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -41,6 +42,27 @@ class SyntheticCoin {
   std::uint64_t sample();
 
   std::uint32_t bits() const { return bits_; }
+
+  /// Full-state equality (coin, buffer, cursor, freshness): two coins are
+  /// equal iff they produce identical futures under identical inputs —
+  /// what count-based lumping needs to be exact for protocols whose δ
+  /// reads the coin.
+  friend bool operator==(const SyntheticCoin&, const SyntheticCoin&) = default;
+
+  /// Hash over exactly the fields operator== compares.
+  std::size_t hash() const {
+    std::size_t h = value_space_;
+    h = h * 0x9e3779b97f4a7c15ULL + bits_;
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::size_t>(coin_);
+    std::size_t packed = 0;
+    for (std::uint32_t i = 0; i < bits_; ++i) {
+      packed = (packed << 1) | static_cast<std::size_t>(buffer_[i]);
+    }
+    h = h * 0x9e3779b97f4a7c15ULL + packed;
+    h = h * 0x9e3779b97f4a7c15ULL + cursor_;
+    h = h * 0x9e3779b97f4a7c15ULL + fresh_bits_;
+    return h;
+  }
 
  private:
   std::uint64_t value_space_;

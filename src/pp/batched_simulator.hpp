@@ -17,8 +17,7 @@
 //          matching the two multisets are again sequential hypergeometric
 //          draws.  Each ordered state-pair type (A, B) with multiplicity m
 //          is then applied m times — or exactly once, with the counts
-//          updated in bulk, when the protocol declares
-//          `static constexpr bool kDeterministicInteract = true`.
+//          updated in bulk, for kDeterministicDelta protocols.
 //          Cost: O(q) per block for the registry scan plus O(L·min(L, q))
 //          matching — ideal when q ≪ n (few live states, e.g. epidemics).
 //        * Fenwick: agents are drawn one at a time through the registry's
@@ -32,6 +31,23 @@
 //      "at least one participant was already used", the pair is sampled
 //      from the tracked used/unused multisets, which is exact because agent
 //      identities are exchangeable given the counts.
+//
+// Per-interaction cost is where the engine lives or dies at q ≈ n, so the
+// hot loop runs entirely in interned id space (pp/interner.hpp):
+//
+//   * kDeterministicDelta protocols route every transition through a
+//     memoized (id, id) → (id, id) DeltaCache (pp/delta_cache.hpp): a hit
+//     skips the δ call, both state copies and both hashes, leaving only
+//     the O(log q) Fenwick updates.  The cache is exact — δ is a pure
+//     function of the two classes — and is invalidated whenever compact()
+//     reclaims ids.  `DeltaMemo::kDisabled` pins the uncached path; cached
+//     and uncached runs are bit-identical (δ consumes no randomness and
+//     the id sequences agree), which tests/test_delta_cache.cpp checks.
+//   * Randomized protocols still call δ, but into persistent scratch
+//     states (copy-assign reuses the scratch's heap buffers instead of
+//     re-allocating per interaction), and re-intern outputs through the
+//     registry's hinted fast path: an unchanged output costs one equality
+//     check; a changed one is hashed once by the interner.
 //
 // Blocks are stopping times of the counts chain, so chaining them (and
 // truncating a block at a probe boundary) reproduces the sequential
@@ -53,10 +69,12 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "pp/counts.hpp"
+#include "pp/delta_cache.hpp"
 #include "pp/protocol.hpp"
 #include "pp/scheduler.hpp"
 #include "pp/simulator.hpp"
@@ -69,6 +87,11 @@ namespace ssle::pp {
 /// (q large relative to L·log q), dense otherwise.  kDense / kFenwick pin
 /// one path — for tests and benchmarks; both are exact.
 enum class BlockSampling { kAuto, kDense, kFenwick };
+
+/// Whether a kDeterministicDelta protocol's transitions go through the
+/// memoized DeltaCache.  kDisabled pins the uncached path (A/B benches,
+/// bit-identical-determinism tests); ignored for randomized protocols.
+enum class DeltaMemo { kEnabled, kDisabled };
 
 /// Exact draw from Hypergeometric(total, successes, draws): the number of
 /// "success" items in `draws` draws without replacement from a population
@@ -85,20 +108,6 @@ void sample_multivariate_hypergeometric(util::Rng& rng,
                                         const std::vector<std::uint64_t>& counts,
                                         std::uint64_t draws,
                                         std::vector<std::uint64_t>& out);
-
-/// True when P declares its transition function deterministic (consumes no
-/// randomness), enabling the bulk same-pair-type fast path.  Declaring this
-/// on a protocol whose δ *does* draw from the Rng silently biases results.
-template <typename P>
-inline constexpr bool kBatchDeterministic = [] {
-  if constexpr (requires {
-                  { P::kDeterministicInteract } -> std::convertible_to<bool>;
-                }) {
-    return static_cast<bool>(P::kDeterministicInteract);
-  } else {
-    return false;
-  }
-}();
 
 template <Protocol P, typename Sched = UniformScheduler>
 class BatchedSimulator {
@@ -119,16 +128,19 @@ class BatchedSimulator {
       std::function<bool(const Config&, std::uint64_t /*interactions*/)>;
 
   BatchedSimulator(const P& protocol, Config config, std::uint64_t seed,
-                   BlockSampling sampling = BlockSampling::kAuto)
+                   BlockSampling sampling = BlockSampling::kAuto,
+                   DeltaMemo memo = DeltaMemo::kEnabled)
       : protocol_(protocol),
         config_(std::move(config)),
         rng_(util::substream(seed, 1)),
         agent_rng_(util::substream(seed, 2)),
-        sampling_(sampling) {}
+        sampling_(sampling),
+        memo_(memo) {}
 
   BatchedSimulator(const P& protocol, std::uint64_t seed,
-                   BlockSampling sampling = BlockSampling::kAuto)
-      : BatchedSimulator(protocol, Config(protocol), seed, sampling) {}
+                   BlockSampling sampling = BlockSampling::kAuto,
+                   DeltaMemo memo = DeltaMemo::kEnabled)
+      : BatchedSimulator(protocol, Config(protocol), seed, sampling, memo) {}
 
   /// Executes exactly `count` interactions.  With fewer than two agents no
   /// pair exists and no interaction can change the configuration; steps
@@ -177,6 +189,12 @@ class BatchedSimulator {
   /// workload actually exercised; tests pin kAuto's choice down).
   std::uint64_t dense_blocks() const { return dense_blocks_; }
   std::uint64_t fenwick_blocks() const { return fenwick_blocks_; }
+
+  /// Memoized-transition statistics (kDeterministicDelta protocols with
+  /// DeltaMemo::kEnabled only; all zero otherwise).
+  std::uint64_t delta_cache_hits() const { return cache_hits_; }
+  std::uint64_t delta_cache_misses() const { return cache_misses_; }
+  std::size_t delta_cache_size() const { return delta_cache_.size(); }
 
  private:
   /// Builds log P(T > t), the log-survival of the first-collision time T,
@@ -321,13 +339,9 @@ class BatchedSimulator {
         bi = draw_unused(unused_total);  // disjoint from the used initiator
       }
 
-      State sa = config_.state(ai);
-      State sb = config_.state(bi);
       config_.remove_at(ai, 1);
       config_.remove_at(bi, 1);
-      protocol_.interact(sa, sb, agent_rng_);
-      config_.add(sa, 1);
-      config_.add(sb, 1);
+      apply_collision(ai, bi);
     }
 
     std::fill(used_.begin(), used_.end(), 0);
@@ -351,13 +365,23 @@ class BatchedSimulator {
       seq_.push_back(idx);
     }
     for (std::uint64_t t = 0; t < L; ++t) {
-      // Copy by value: record_used may grow the registry and invalidate
-      // references into it.
-      State sa = config_.state(seq_[2 * t]);
-      State sb = config_.state(seq_[2 * t + 1]);
-      protocol_.interact(sa, sb, agent_rng_);
-      record_used(sa, seq_[2 * t]);
-      record_used(sb, seq_[2 * t + 1]);
+      const std::uint32_t ia = seq_[2 * t];
+      const std::uint32_t ib = seq_[2 * t + 1];
+      if constexpr (kDeterministicDelta<P>) {
+        // Memoizable δ: the whole interaction is an id-space lookup (plus
+        // one δ evaluation per distinct pair type on a cache miss).
+        const auto [oa, ob] = delta_outputs(ia, ib);
+        record_used_id(oa);
+        record_used_id(ob);
+      } else {
+        // Randomized δ: copy into persistent scratch (reusing its heap
+        // buffers), run δ, re-intern via the hinted fast path.
+        State& sa = assign_scratch(scratch_a_, ia);
+        State& sb = assign_scratch(scratch_b_, ib);
+        protocol_.interact(sa, sb, agent_rng_);
+        record_used_id(config_.index_of(sa, ia));
+        record_used_id(config_.index_of(sb, ib));
+      }
     }
 
     if (collided) {
@@ -382,13 +406,9 @@ class BatchedSimulator {
         bi = draw_used_sparse(used_total);
       }
 
-      State sa = config_.state(ai);
-      State sb = config_.state(bi);
       if (init_used) used_[ai] -= 1; else config_.remove_at(ai, 1);
       if (resp_used) used_[bi] -= 1; else config_.remove_at(bi, 1);
-      protocol_.interact(sa, sb, agent_rng_);
-      config_.add(sa, 1);
-      config_.add(sb, 1);
+      apply_collision(ai, bi);
     }
 
     // Return the block's post-states to the configuration and clear the
@@ -417,14 +437,80 @@ class BatchedSimulator {
     return {init_used, resp_used};
   }
 
+  /// Output ids of the interaction (ia, ib): memoized lookup when enabled,
+  /// δ evaluation otherwise.  Deterministic protocols only.
+  std::pair<std::uint32_t, std::uint32_t> delta_outputs(std::uint32_t ia,
+                                                        std::uint32_t ib)
+    requires kDeterministicDelta<P>
+  {
+    if (memo_ == DeltaMemo::kEnabled) {
+      const std::uint64_t key = DeltaCache::pack(ia, ib);
+      std::uint64_t val;
+      if (delta_cache_.lookup(key, val)) {
+        ++cache_hits_;
+        return DeltaCache::unpack(val);
+      }
+      ++cache_misses_;
+      const auto out = compute_delta(ia, ib);
+      delta_cache_.insert(key, DeltaCache::pack(out.first, out.second));
+      return out;
+    }
+    return compute_delta(ia, ib);
+  }
+
+  /// One δ evaluation over the classes (ia, ib), outputs re-interned via
+  /// the hinted fast path.  δ is deterministic here, so passing agent_rng_
+  /// consumes nothing — cached and uncached runs see identical streams.
+  std::pair<std::uint32_t, std::uint32_t> compute_delta(std::uint32_t ia,
+                                                        std::uint32_t ib)
+    requires kDeterministicDelta<P>
+  {
+    State& sa = assign_scratch(scratch_a_, ia);
+    State& sb = assign_scratch(scratch_b_, ib);
+    protocol_.interact(sa, sb, agent_rng_);
+    const std::uint32_t oa = config_.index_of(sa, ia);
+    const std::uint32_t ob = config_.index_of(sb, ib);
+    return {oa, ob};
+  }
+
+  /// The colliding interaction, on classes already removed from both
+  /// pools: outputs go straight back to the configuration (the block ends
+  /// here, so they can never be drawn again within it).
+  void apply_collision(std::uint32_t ai, std::uint32_t bi) {
+    if constexpr (kDeterministicDelta<P>) {
+      const auto [oa, ob] = delta_outputs(ai, bi);
+      config_.add_at(oa, 1);
+      config_.add_at(ob, 1);
+    } else {
+      State& sa = assign_scratch(scratch_a_, ai);
+      State& sb = assign_scratch(scratch_b_, bi);
+      protocol_.interact(sa, sb, agent_rng_);
+      config_.add_at(config_.index_of(sa, ai), 1);
+      config_.add_at(config_.index_of(sb, bi), 1);
+    }
+  }
+
+  /// Copies `src` into a persistent scratch slot.  The slot is constructed
+  /// on first use and copy-ASSIGNED afterwards, so its heap buffers (rich
+  /// states: vectors of ranks, messages, coin rings) are reused instead of
+  /// re-allocated on every interaction — the difference between several
+  /// mallocs per interaction and none in steady state.
+  static State& assign_scratch(std::optional<State>& slot, const State& src) {
+    if (slot.has_value()) {
+      *slot = src;
+    } else {
+      slot.emplace(src);
+    }
+    return *slot;
+  }
+
+  State& assign_scratch(std::optional<State>& slot, std::uint32_t idx) {
+    return assign_scratch(slot, config_.state(idx));
+  }
+
   /// Tracks one output agent of the running block in the used multiset
-  /// without returning it to the configuration yet.  `src_idx` is the
-  /// registry entry the agent was drawn from: when the interaction left
-  /// the state unchanged — the common case for rich protocols — one
-  /// equality check (early-exit) replaces the full hash + map lookup.
-  void record_used(const State& s, std::uint32_t src_idx) {
-    const std::uint32_t idx =
-        s == config_.state(src_idx) ? src_idx : config_.index_of(s);
+  /// without returning it to the configuration yet.
+  void record_used_id(std::uint32_t idx) {
     if (used_.size() <= idx) used_.resize(idx + 1, 0);
     if (used_[idx] == 0) touched_.push_back(idx);
     used_[idx] += 1;
@@ -445,53 +531,51 @@ class BatchedSimulator {
   /// registry entries (a, b).  The 2m agents were already removed from the
   /// counts; outputs are added back and tracked in the used multiset.
   void apply_pair_type(std::uint32_t a, std::uint32_t b, std::uint64_t m) {
-    // Copy by value: record_output may grow the registry and invalidate
-    // references into it.
-    const State proto_a = config_.state(a);
-    const State proto_b = config_.state(b);
-    if constexpr (kBatchDeterministic<P>) {
-      State sa = proto_a;
-      State sb = proto_b;
-      protocol_.interact(sa, sb, agent_rng_);
-      record_output(sa, m, a);
-      record_output(sb, m, b);
+    if constexpr (kDeterministicDelta<P>) {
+      const auto [oa, ob] = delta_outputs(a, b);
+      record_output_id(oa, m);
+      record_output_id(ob, m);
     } else {
+      // Copy the pair type's prototype states once (record_output may grow
+      // the registry and reseat its arena, so references are not stable),
+      // then run δ per pair out of persistent scratch.
+      assign_scratch(proto_a_, a);
+      assign_scratch(proto_b_, b);
       for (std::uint64_t i = 0; i < m; ++i) {
-        State sa = proto_a;
-        State sb = proto_b;
+        State& sa = assign_scratch(scratch_a_, *proto_a_);
+        State& sb = assign_scratch(scratch_b_, *proto_b_);
         protocol_.interact(sa, sb, agent_rng_);
-        record_output(sa, 1, a);
-        record_output(sb, 1, b);
+        record_output_id(config_.index_of(sa, a), 1);
+        record_output_id(config_.index_of(sb, b), 1);
       }
     }
   }
 
   /// Long runs leave behind zero-count registry entries (states the
-  /// population moved through); once they dominate, drop them so sampling
-  /// and the Fenwick depth track the number of *live* states.  The
-  /// registry counts its live entries incrementally, so the decision is
-  /// O(1) per block.  Safe between blocks because all block-local indices
-  /// (used_, scratch) are dead.
+  /// population moved through); once they dominate, release them so
+  /// sampling, scratch arrays and the id table track the number of *live*
+  /// states.  The registry counts its live entries incrementally, so the
+  /// decision is O(1) per block.  Safe between blocks because all
+  /// block-local indices (used_, scratch) are dead — and because ids are
+  /// stable, nothing else needs re-deriving except the memoized
+  /// transition cache, whose entries may name reclaimed ids.
   void maybe_compact() {
-    const std::uint32_t q = config_.num_states();
-    if (q < 32) return;
-    if (2 * config_.num_live_states() <= q) {
+    const std::uint32_t allocated = config_.num_allocated_states();
+    if (allocated < 32) return;
+    if (2 * config_.num_live_states() <= allocated) {
       config_.compact();
-      used_.assign(config_.num_states(), 0);
+      if (used_.size() > config_.num_states()) {
+        used_.resize(config_.num_states());
+      }
+      if constexpr (kDeterministicDelta<P>) {
+        delta_cache_.clear();
+      }
     }
   }
 
   /// Returns m output agents to the configuration and the used multiset.
-  /// `src_idx` is the registry entry the inputs came from; an unchanged
-  /// state skips the hash + map lookup inside add().
-  void record_output(const State& s, std::uint64_t m, std::uint32_t src_idx) {
-    std::uint32_t idx;
-    if (s == config_.state(src_idx)) {
-      config_.add_at(src_idx, m);
-      idx = src_idx;
-    } else {
-      idx = config_.add(s, m);
-    }
+  void record_output_id(std::uint32_t idx, std::uint64_t m) {
+    config_.add_at(idx, m);
     if (used_.size() <= idx) used_.resize(idx + 1, 0);
     used_[idx] += m;
   }
@@ -524,11 +608,22 @@ class BatchedSimulator {
   util::Rng rng_;        ///< scheduler randomness (block structure, pairs)
   util::Rng agent_rng_;  ///< transition-function randomness
   BlockSampling sampling_ = BlockSampling::kAuto;
+  DeltaMemo memo_ = DeltaMemo::kEnabled;
   std::uint64_t interactions_ = 0;
   std::uint64_t dense_blocks_ = 0;
   std::uint64_t fenwick_blocks_ = 0;
 
+  DeltaCache delta_cache_;  ///< (id, id) → (id, id), deterministic δ only
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+
   std::vector<double> log_survival_;  ///< log P(first collision > t), Θ(√n)
+
+  // Persistent δ scratch (optional: State need not be default-
+  // constructible).  proto_a_/proto_b_ hold a dense pair type's inputs
+  // across the per-pair loop.
+  std::optional<State> scratch_a_, scratch_b_;
+  std::optional<State> proto_a_, proto_b_;
 
   // Scratch buffers.  used_ and k_ are indexed like the registry; nz_
   // lists the registry indices drawn this block, and init_/resp_/match_

@@ -1,16 +1,18 @@
-// Count-based configuration: the multiset view of C ∈ Q^n.
+// Count-based configuration: the multiset view of C ∈ Q^n, in id space.
 //
 // The uniform scheduler is oblivious to agent identity and every protocol's
 // transition depends only on the two interacting *states*, so the projection
 // of the configuration onto state counts is itself a Markov chain
 // (lumpability).  `CountsConfiguration` stores that projection as a dense
-// state→count registry discovered on the fly: a vector of distinct states,
-// a parallel vector of counts, and (when the state type is hashable) a hash
-// index for O(1) lookups.  Every shipped state type — including
-// core::Agent, via the nested-struct std::hash in core/agent.hpp — is
-// hashable and takes the indexed path; non-hashable state types fall back
-// to linear scans over the distinct states, which is exact but only
-// sensible when the number of *distinct* states is small.
+// id → count registry over a `StateInterner` (pp/interner.hpp): distinct
+// states live once in the interner's arena, are hashed once when first
+// seen, and everything downstream — counts, the Fenwick tree, block
+// samplers, the batched engine's scratch multisets and memoized transition
+// cache — manipulates plain `std::uint32_t` class ids.  Ids are STABLE:
+// compact() releases dead (zero-count) ids back to the interner's free
+// list for reuse instead of re-indexing, so live ids and all Fenwick sums
+// survive compaction unchanged, and long churny runs (adversarial starts,
+// recovery cycles) cannot accumulate an unbounded tail of dead classes.
 //
 // This is the representation the batched engine (pp/batched_simulator.hpp)
 // advances with hypergeometric draws; at n = 10^6+ it replaces a
@@ -29,21 +31,13 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
-#include <variant>
 #include <vector>
 
+#include "pp/interner.hpp"
 #include "pp/population.hpp"
 #include "pp/protocol.hpp"
 
 namespace ssle::pp {
-
-/// True when std::hash is specialized for T (enables the hash index).
-template <typename T>
-concept HashableState = requires(const T& t) {
-  { std::hash<T>{}(t) } -> std::convertible_to<std::size_t>;
-};
 
 template <Protocol P>
 class CountsConfiguration {
@@ -68,56 +62,56 @@ class CountsConfiguration {
   /// Total number of agents n (the multiset cardinality).
   std::uint64_t population_size() const { return total_; }
 
-  /// Number of registered distinct states (zero-count entries included
-  /// until compact() is called).
-  std::uint32_t num_states() const {
-    return static_cast<std::uint32_t>(states_.size());
-  }
+  /// Registry extent: class ids live in [0, num_states()).  Includes
+  /// reclaimed (free-list) slots awaiting reuse — the right bound for
+  /// iterating or for sizing id-indexed scratch arrays.
+  std::uint32_t num_states() const { return interner_.capacity(); }
+
+  /// Number of currently interned states (excludes reclaimed slots;
+  /// includes registered-but-zero-count entries until compact()).
+  std::uint32_t num_allocated_states() const { return interner_.size(); }
 
   /// Number of registry entries with a nonzero count, tracked
   /// incrementally (so compaction decisions cost O(1), not O(q)).
   std::uint32_t num_live_states() const { return live_; }
 
-  const State& state(std::uint32_t idx) const { return states_[idx]; }
+  const State& state(std::uint32_t idx) const { return interner_.state(idx); }
   std::uint64_t count(std::uint32_t idx) const { return counts_[idx]; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
 
+  const StateInterner<State>& interner() const { return interner_; }
+
+  /// Bumped whenever compact() reclaims ids.  Caches keyed on class ids
+  /// (e.g. the batched engine's memoized transition table) must be dropped
+  /// when this changes — reclaimed ids may be reused for other states.
+  std::uint64_t registry_version() const { return interner_.version(); }
+
   /// Count of a state, 0 if it was never registered.
   std::uint64_t count_of(const State& s) const {
-    if constexpr (HashableState<State>) {
-      const auto it = index_.find(s);
-      return it == index_.end() ? 0 : counts_[it->second];
-    } else {
-      for (std::uint32_t i = 0; i < states_.size(); ++i) {
-        if (states_[i] == s) return counts_[i];
-      }
-      return 0;
-    }
+    const std::uint32_t id = interner_.find(s);
+    return id == StateInterner<State>::kNoId ? 0 : counts_[id];
   }
 
-  /// Index of a state, registering it (with count 0) if new.
+  /// Id of a state, registering it (with count 0) if new.  Stable until
+  /// the id is reclaimed by compact().
   std::uint32_t index_of(const State& s) {
-    if constexpr (HashableState<State>) {
-      const auto [it, inserted] =
-          index_.try_emplace(s, static_cast<std::uint32_t>(states_.size()));
-      if (inserted) {
-        states_.push_back(s);
-        counts_.push_back(0);
-        tree_append();
-      }
-      return it->second;
-    } else {
-      for (std::uint32_t i = 0; i < states_.size(); ++i) {
-        if (states_[i] == s) return i;
-      }
-      states_.push_back(s);
+    const std::uint32_t id = interner_.intern(s);
+    if (id >= counts_.size()) {
       counts_.push_back(0);
       tree_append();
-      return static_cast<std::uint32_t>(states_.size() - 1);
     }
+    return id;
   }
 
-  /// Adds k agents in state s; returns the state's index.
+  /// Id of `s` when the caller already suspects it: if `hint` currently
+  /// stands for a state equal to s, returns it without hashing — the fast
+  /// path for "this interaction left the state unchanged".
+  std::uint32_t index_of(const State& s, std::uint32_t hint) {
+    if (interner_.allocated(hint) && s == interner_.state(hint)) return hint;
+    return index_of(s);
+  }
+
+  /// Adds k agents in state s; returns the state's id.
   std::uint32_t add(const State& s, std::uint64_t k) {
     const std::uint32_t idx = index_of(s);
     add_at(idx, k);
@@ -173,8 +167,8 @@ class CountsConfiguration {
   /// Applies f(state, count) to every state with a nonzero count.
   template <typename F>
   void for_each(F&& f) const {
-    for (std::uint32_t i = 0; i < states_.size(); ++i) {
-      if (counts_[i] > 0) f(states_[i], counts_[i]);
+    for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) f(interner_.state(i), counts_[i]);
     }
   }
 
@@ -182,8 +176,8 @@ class CountsConfiguration {
   template <typename Pred>
   std::uint64_t count_if(Pred&& pred) const {
     std::uint64_t k = 0;
-    for (std::uint32_t i = 0; i < states_.size(); ++i) {
-      if (counts_[i] > 0 && pred(states_[i])) k += counts_[i];
+    for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0 && pred(interner_.state(i))) k += counts_[i];
     }
     return k;
   }
@@ -193,32 +187,30 @@ class CountsConfiguration {
   std::vector<State> to_states() const {
     std::vector<State> out;
     out.reserve(total_);
-    for (std::uint32_t i = 0; i < states_.size(); ++i) {
-      for (std::uint64_t j = 0; j < counts_[i]; ++j) out.push_back(states_[i]);
+    for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+      for (std::uint64_t j = 0; j < counts_[i]; ++j) {
+        out.push_back(interner_.state(i));
+      }
     }
     return out;
   }
 
   Population<P> to_population() const { return Population<P>(to_states()); }
 
-  /// Drops zero-count registry entries and rebuilds the index.  Invalidates
-  /// previously obtained indices.
+  /// Releases every zero-count id to the interner's free list (it will be
+  /// reused by future registrations) and trims trailing reclaimed slots.
+  /// Live ids — and all their Fenwick sums — are untouched: no re-indexing
+  /// happens, so previously obtained ids of live states stay valid.  Ids
+  /// of dead states become invalid; registry_version() records that.
   void compact() {
-    std::vector<State> states;
-    std::vector<std::uint64_t> counts;
-    for (std::uint32_t i = 0; i < states_.size(); ++i) {
-      if (counts_[i] > 0) {
-        states.push_back(std::move(states_[i]));
-        counts.push_back(counts_[i]);
-      }
-    }
-    states_ = std::move(states);
-    counts_ = std::move(counts);
-    if constexpr (HashableState<State>) {
-      index_.clear();
-      for (std::uint32_t i = 0; i < states_.size(); ++i) index_[states_[i]] = i;
-    }
-    rebuild_tree();
+    interner_.reclaim([&](std::uint32_t id) { return counts_[id] == 0; });
+    interner_.shrink();
+    // Trailing reclaimed entries carried count 0, so truncating the counts
+    // vector and the Fenwick tree loses no mass; a Fenwick node j only
+    // aggregates entries with index < j, so the surviving prefix of the
+    // tree is already exact.
+    counts_.resize(interner_.capacity());
+    tree_.resize(interner_.capacity() + 1);
   }
 
  private:
@@ -247,26 +239,11 @@ class CountsConfiguration {
     tree_.push_back(prefix_count(j - 1) - prefix_count(j - lb));
   }
 
-  void rebuild_tree() {
-    tree_.assign(counts_.size() + 1, 0);
-    live_ = 0;
-    for (std::uint32_t i = 0; i < counts_.size(); ++i) {
-      if (counts_[i] > 0) {
-        ++live_;
-        tree_add(i, counts_[i]);
-      }
-    }
-  }
-
-  struct Empty {};
-  std::vector<State> states_;
-  std::vector<std::uint64_t> counts_;
-  std::vector<std::uint64_t> tree_{0};  ///< Fenwick tree over counts_
+  StateInterner<State> interner_;        ///< id ↔ state, hashed once
+  std::vector<std::uint64_t> counts_;    ///< id → count (0 for free slots)
+  std::vector<std::uint64_t> tree_{0};   ///< Fenwick tree over counts_
   std::uint64_t total_ = 0;
   std::uint32_t live_ = 0;  ///< number of nonzero counts_ entries
-  [[no_unique_address]] std::conditional_t<
-      HashableState<State>, std::unordered_map<State, std::uint32_t>, Empty>
-      index_;
 };
 
 }  // namespace ssle::pp

@@ -1,0 +1,114 @@
+// Memoized transition cache for deterministic-δ protocols.
+//
+// For a protocol with `kDeterministicDelta` (pp/protocol.hpp), a
+// transition is a pure function of the two interacting *classes*, so over
+// interned class ids (pp/interner.hpp) it collapses to a lookup:
+//
+//   (id_initiator, id_responder) → (id_initiator', id_responder')
+//
+// `DeltaCache` is that table: a linear-probing, power-of-two flat map from
+// a packed 64-bit id pair to a packed 64-bit id pair.  Entries are plain
+// uint64 pairs — no per-insert allocation, one probe chain per lookup — so
+// a cache hit replaces two deep state copies, a δ call, two hashes and two
+// map lookups with a couple of cache lines.  The owner must clear() the
+// table whenever ids are reclaimed (CountsConfiguration::registry_version
+// changes): a reclaimed id may be reused for a different state.
+//
+// Growth doubles the table at 1/2 load.  Insertion stops (lookups continue)
+// once kMaxEntries is reached — a protocol whose live pair-type set really
+// is unbounded would otherwise trade memory for a near-zero hit rate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ssle::pp {
+
+class DeltaCache {
+ public:
+  /// Hard cap on resident entries (~64 MiB of table at 16 B/slot and the
+  /// load bound): beyond this, misses stop being inserted.
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 22;
+
+  static std::uint64_t pack(std::uint32_t a, std::uint32_t b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  static std::pair<std::uint32_t, std::uint32_t> unpack(std::uint64_t v) {
+    return {static_cast<std::uint32_t>(v >> 32),
+            static_cast<std::uint32_t>(v)};
+  }
+
+  DeltaCache() : slots_(kInitialSlots, Slot{kEmpty, 0}) {}
+
+  /// True and sets `value` iff `key` is cached.
+  bool lookup(std::uint64_t key, std::uint64_t& value) const {
+    std::size_t i = index_of(key);
+    while (slots_[i].key != kEmpty) {
+      if (slots_[i].key == key) {
+        value = slots_[i].value;
+        return true;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return false;
+  }
+
+  /// Inserts key → value (caller guarantees key is absent).  Silently
+  /// drops the entry once kMaxEntries resident entries are reached.
+  void insert(std::uint64_t key, std::uint64_t value) {
+    if (entries_ >= kMaxEntries) return;
+    if (2 * (entries_ + 1) >= slots_.size()) grow();
+    std::size_t i = index_of(key);
+    while (slots_[i].key != kEmpty) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = Slot{key, value};
+    ++entries_;
+  }
+
+  /// Drops every entry (table storage is kept warm).
+  void clear() {
+    if (entries_ == 0) return;
+    for (Slot& s : slots_) s.key = kEmpty;
+    entries_ = 0;
+  }
+
+  std::size_t size() const { return entries_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::uint64_t value;
+  };
+
+  /// Packed keys are two valid ids, each < 0xffffffff (the interner's kNoId
+  /// sentinel), so all-ones can never be a real key.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  static constexpr std::size_t kInitialSlots = 1024;
+
+  std::size_t index_of(std::uint64_t key) const {
+    // splitmix64 finalizer: id pairs are highly regular, the table is
+    // power-of-two — full-width mixing keeps probe chains short.
+    std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & (slots_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{kEmpty, 0});
+    for (const Slot& s : old) {
+      if (s.key == kEmpty) continue;
+      std::size_t i = index_of(s.key);
+      while (slots_[i].key != kEmpty) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace ssle::pp

@@ -14,7 +14,8 @@ struct Epidemic {
   using State = int;  ///< 0 = susceptible, 1 = infected
 
   /// δ never consumes randomness, so the batched engine may apply one
-  /// transition result to a whole block of same-type pairs.
+  /// transition result to a whole block of same-type pairs and memoize
+  /// transitions over interned class ids (pp/protocol.hpp).
   static constexpr bool kDeterministicInteract = true;
 
   std::uint32_t n;

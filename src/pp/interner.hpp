@@ -1,0 +1,214 @@
+// State interner: the id space behind the count-based engine.
+//
+// A `StateInterner<S>` owns an arena of distinct states and hands out dense
+// `std::uint32_t` ids for them.  The contract that makes it worth having
+// (instead of the registry's previous inline vector+unordered_map pair):
+//
+//   * A state is hashed ONCE, when it is first interned.  The hash is
+//     cached next to the arena slot, so table probes compare cached hashes
+//     before paying for a deep operator== — and a state that is already
+//     interned is found with zero allocations.
+//   * Ids are STABLE: an id keeps pointing at the same state until the id
+//     is explicitly reclaimed.  Reclamation (compact) releases dead ids to
+//     a free list instead of re-indexing, so live ids — and everything
+//     keyed on them: counts, Fenwick nodes, memoized transitions, scratch
+//     multisets — survive compaction untouched.
+//   * Interning a novel state costs exactly one deep copy (into the arena
+//     slot).  Reused free-list slots keep their heap buffers, so in steady
+//     churn the copy-assign usually allocates nothing.  The open-addressing
+//     id table stores plain uint32s — no per-insert node allocations.
+//
+// Non-hashable state types fall back to a linear scan over allocated ids,
+// which is exact but only sensible when the number of distinct states is
+// small (mirrors the registry's historical fallback).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ssle::pp {
+
+/// True when std::hash is specialized for T (enables the hash id table).
+template <typename T>
+concept HashableState = requires(const T& t) {
+  { std::hash<T>{}(t) } -> std::convertible_to<std::size_t>;
+};
+
+template <typename S>
+class StateInterner {
+ public:
+  /// Sentinel returned by find() when a state was never interned.
+  static constexpr std::uint32_t kNoId = 0xffffffffu;
+
+  /// Arena size: ids live in [0, capacity()).  Includes reclaimed slots
+  /// awaiting reuse, so this bounds every id ever handed out and not yet
+  /// trimmed — the right extent for id-indexed side arrays.
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(arena_.size());
+  }
+
+  /// Number of currently allocated (not reclaimed) ids.
+  std::uint32_t size() const { return size_; }
+
+  /// True iff id is currently allocated (reclaimed slots are not).
+  bool allocated(std::uint32_t id) const {
+    return id < alive_.size() && alive_[id];
+  }
+
+  /// The state an allocated id stands for.  Reclaimed slots hold stale
+  /// payloads (kept warm for buffer reuse) — never dereference them.
+  const S& state(std::uint32_t id) const {
+    assert(allocated(id));
+    return arena_[id];
+  }
+
+  /// Bumped every time reclaim() releases at least one id.  Anything that
+  /// caches ids (e.g. a memoized transition table) must treat a version
+  /// change as "all cached ids may now be dangling".
+  std::uint64_t version() const { return version_; }
+
+  /// Id of s, allocating a slot (free list first, then arena append) if s
+  /// was never interned.  The single hash of s happens here.
+  std::uint32_t intern(const S& s) {
+    if constexpr (HashableState<S>) {
+      const std::size_t h = std::hash<S>{}(s);
+      std::size_t slot = find_slot(h, s);
+      if (table_[slot] != kNoId) return table_[slot];
+      const std::uint32_t id = allocate(s);
+      hashes_[id] = h;
+      table_[slot] = id;
+      ++table_used_;
+      if (2 * table_used_ >= table_.size()) rebuild_table(2 * table_.size());
+      return id;
+    } else {
+      for (std::uint32_t id = 0; id < capacity(); ++id) {
+        if (alive_[id] && arena_[id] == s) return id;
+      }
+      return allocate(s);
+    }
+  }
+
+  /// Id of s if it is interned, kNoId otherwise.  Never allocates.
+  std::uint32_t find(const S& s) const {
+    if constexpr (HashableState<S>) {
+      const std::size_t h = std::hash<S>{}(s);
+      std::size_t slot = h & (table_.size() - 1);
+      while (table_[slot] != kNoId) {
+        const std::uint32_t id = table_[slot];
+        if (hashes_[id] == h && arena_[id] == s) return id;
+        slot = (slot + 1) & (table_.size() - 1);
+      }
+      return kNoId;
+    } else {
+      for (std::uint32_t id = 0; id < capacity(); ++id) {
+        if (alive_[id] && arena_[id] == s) return id;
+      }
+      return kNoId;
+    }
+  }
+
+  /// Releases every allocated id for which dead(id) holds: the id leaves
+  /// the hash table and joins the free list for reuse by later intern()
+  /// calls.  Slot payloads are deliberately NOT destroyed — a reused slot's
+  /// copy-assign then recycles its heap buffers.  Returns the number of
+  /// ids released; bumps version() when that is nonzero.
+  template <typename Dead>
+  std::uint32_t reclaim(Dead&& dead) {
+    std::uint32_t released = 0;
+    for (std::uint32_t id = 0; id < capacity(); ++id) {
+      if (alive_[id] && dead(id)) {
+        alive_[id] = false;
+        free_.push_back(id);
+        --size_;
+        ++released;
+      }
+    }
+    if (released > 0) {
+      ++version_;
+      if constexpr (HashableState<S>) rebuild_table(table_.size());
+    }
+    return released;
+  }
+
+  /// Trims trailing reclaimed slots off the arena (their heap payloads are
+  /// actually freed here), shrinking capacity() — and with it every
+  /// id-indexed side array the owner keeps.  Interior free slots stay on
+  /// the free list.  Returns the new capacity.
+  std::uint32_t shrink() {
+    const std::uint32_t before = capacity();
+    while (!alive_.empty() && !alive_.back()) {
+      arena_.pop_back();
+      hashes_.pop_back();
+      alive_.pop_back();
+    }
+    if (capacity() != before) {
+      const std::uint32_t cap = capacity();
+      std::erase_if(free_, [cap](std::uint32_t id) { return id >= cap; });
+    }
+    return capacity();
+  }
+
+ private:
+  std::uint32_t allocate(const S& s) {
+    assert(capacity() < kNoId);
+    std::uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      arena_[id] = s;  // copy-assign: reuses the dead slot's heap buffers
+      alive_[id] = true;
+    } else {
+      id = capacity();
+      arena_.push_back(s);
+      hashes_.push_back(0);
+      alive_.push_back(true);
+    }
+    ++size_;
+    return id;
+  }
+
+  /// Linear probe for s (cached-hash pre-check): the slot holding s's id,
+  /// or the empty slot where s would be inserted.
+  std::size_t find_slot(std::size_t h, const S& s) const {
+    std::size_t slot = h & (table_.size() - 1);
+    while (table_[slot] != kNoId) {
+      const std::uint32_t id = table_[slot];
+      if (hashes_[id] == h && arena_[id] == s) return slot;
+      slot = (slot + 1) & (table_.size() - 1);
+    }
+    return slot;
+  }
+
+  /// Re-seats every allocated id in a table of `want` slots (rounded up to
+  /// a power of two ≥ 2·size()+16, so the load factor stays below 1/2).
+  void rebuild_table(std::size_t want) {
+    std::size_t cap = 16;
+    while (cap < want || cap < 2 * static_cast<std::size_t>(size_) + 16) {
+      cap *= 2;
+    }
+    table_.assign(cap, kNoId);
+    table_used_ = size_;
+    for (std::uint32_t id = 0; id < capacity(); ++id) {
+      if (!alive_[id]) continue;
+      std::size_t slot = hashes_[id] & (cap - 1);
+      while (table_[slot] != kNoId) slot = (slot + 1) & (cap - 1);
+      table_[slot] = id;
+    }
+  }
+
+  std::vector<S> arena_;              ///< id → state (append-only + reuse)
+  std::vector<std::size_t> hashes_;   ///< id → cached hash (hashable only)
+  std::vector<bool> alive_;           ///< id → currently allocated?
+  std::vector<std::uint32_t> free_;   ///< reclaimed ids awaiting reuse
+  /// Open-addressing id table (hashable only), power-of-two sized.
+  std::vector<std::uint32_t> table_ = std::vector<std::uint32_t>(16, kNoId);
+  std::size_t table_used_ = 0;        ///< allocated ids seated in table_
+  std::uint32_t size_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace ssle::pp

@@ -27,4 +27,27 @@ concept Protocol = requires(const P& p, typename P::State& s,
   { p.population_size() } -> std::convertible_to<std::uint32_t>;
 };
 
+/// True when P declares its transition function deterministic — δ is a pure
+/// function (State × State) → (State × State) that never draws from the
+/// engine Rng — by defining `static constexpr bool kDeterministicInteract
+/// = true`.  The batched engine then (a) applies one transition result to
+/// a whole block of same-type pairs and (b) memoizes transitions as an
+/// (id, id) → (id, id) lookup over interned class ids, skipping the δ call,
+/// both state copies and both hashes on the hot path.  Declaring this on a
+/// protocol whose δ *does* draw from the Rng silently biases results.
+template <typename P>
+inline constexpr bool kDeterministicDelta = [] {
+  if constexpr (requires {
+                  { P::kDeterministicInteract } -> std::convertible_to<bool>;
+                }) {
+    return static_cast<bool>(P::kDeterministicInteract);
+  } else {
+    return false;
+  }
+}();
+
+/// Concept form of the opt-in, for overload gating.
+template <typename P>
+concept DeterministicDelta = Protocol<P> && kDeterministicDelta<P>;
+
 }  // namespace ssle::pp

@@ -1,0 +1,154 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace ssle::util {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_indent(std::ostream& os, int indent) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+}  // namespace
+
+Json::Json(std::uint64_t v) {
+  if (v <= static_cast<std::uint64_t>(
+               std::numeric_limits<std::int64_t>::max())) {
+    value_ = static_cast<std::int64_t>(v);
+  } else {
+    value_ = static_cast<double>(v);
+  }
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = Members{};
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = Elements{};
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (!std::holds_alternative<Members>(value_)) value_ = Members{};
+  auto& members = std::get<Members>(value_);
+  for (auto& [k, existing] : members) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  members.emplace_back(key, std::move(v));
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  if (!std::holds_alternative<Elements>(value_)) value_ = Elements{};
+  std::get<Elements>(value_).push_back(std::move(v));
+  return *this;
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    os << "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    os << (*b ? "true" : "false");
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (!std::isfinite(*d)) {
+      os << "null";  // JSON has no NaN/inf
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", *d);
+      os << buf;
+    }
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    os << *i;
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    write_escaped(os, *s);
+  } else if (const auto* members = std::get_if<Members>(&value_)) {
+    if (members->empty()) {
+      os << "{}";
+      return;
+    }
+    os << "{\n";
+    for (std::size_t i = 0; i < members->size(); ++i) {
+      write_indent(os, indent + 1);
+      write_escaped(os, (*members)[i].first);
+      os << ": ";
+      (*members)[i].second.write(os, indent + 1);
+      if (i + 1 < members->size()) os << ',';
+      os << '\n';
+    }
+    write_indent(os, indent);
+    os << '}';
+  } else if (const auto* elements = std::get_if<Elements>(&value_)) {
+    if (elements->empty()) {
+      os << "[]";
+      return;
+    }
+    os << "[\n";
+    for (std::size_t i = 0; i < elements->size(); ++i) {
+      write_indent(os, indent + 1);
+      (*elements)[i].write(os, indent + 1);
+      if (i + 1 < elements->size()) os << ',';
+      os << '\n';
+    }
+    write_indent(os, indent);
+    os << ']';
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void write_json_file(const std::string& path, const Json& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    std::exit(2);
+  }
+  doc.write(out);
+  out << '\n';
+  if (!out.flush()) {
+    std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+}  // namespace ssle::util

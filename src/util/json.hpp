@@ -1,0 +1,66 @@
+// Minimal JSON document builder for structured benchmark output.
+//
+// Bench binaries historically emit aligned tables plus "CSV," lines; the
+// repo's perf trajectory (BENCH_*.json) wants machine-readable documents
+// with nesting, so this adds a tiny insertion-ordered value tree:
+//
+//   auto doc = Json::object();
+//   doc.set("bench", "parallel_sweep");
+//   auto section = Json::object();
+//   section.set("wall_s", 1.25);
+//   doc.set("fenwick", std::move(section));
+//   write_json_file("BENCH.json", doc);
+//
+// Writing is pretty-printed, keys keep insertion order (stable diffs),
+// non-finite doubles serialize as null (JSON has no NaN/inf).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ssle::util {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(bool v) : value_(v) {}
+  Json(double v) : value_(v) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(std::int64_t v) : value_(v) {}
+  Json(std::uint64_t v);  ///< values above int64 max fall back to double
+  Json(std::string v) : value_(std::move(v)) {}
+  Json(const char* v) : value_(std::string(v)) {}
+
+  static Json object();
+  static Json array();
+
+  /// Object insertion (keeps insertion order; duplicate keys overwrite).
+  Json& set(const std::string& key, Json v);
+
+  /// Array append.
+  Json& push(Json v);
+
+  void write(std::ostream& os, int indent = 0) const;
+  std::string dump() const;
+
+ private:
+  struct ObjectTag {};
+  struct ArrayTag {};
+  using Members = std::vector<std::pair<std::string, Json>>;
+  using Elements = std::vector<Json>;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
+               Members, Elements>
+      value_;
+};
+
+/// Writes `doc` (pretty-printed, trailing newline) to `path`; prints a
+/// clear error to stderr and exits with status 2 on I/O failure — a bench
+/// asked for --json must not silently drop its results.
+void write_json_file(const std::string& path, const Json& doc);
+
+}  // namespace ssle::util

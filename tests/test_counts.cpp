@@ -46,17 +46,64 @@ TEST(Counts, ToStatesExpandsTheMultiset) {
   EXPECT_EQ(states, (std::vector<int>{0, 0, 0, 1, 1}));
 }
 
-TEST(Counts, CompactDropsZeroEntries) {
+TEST(Counts, CompactReleasesDeadIdsAndKeepsLiveIdsStable) {
   CountsConfiguration<Epidemic> config(std::vector<int>{1, 2, 3});
-  const auto idx = config.index_of(2);
-  config.remove_at(idx, 1);
-  EXPECT_EQ(config.num_states(), 3u);
+  const auto id1 = config.index_of(1);
+  const auto id2 = config.index_of(2);
+  const auto id3 = config.index_of(3);
+  config.remove_at(id2, 1);
+  EXPECT_EQ(config.num_allocated_states(), 3u);
+  const auto version = config.registry_version();
   config.compact();
-  EXPECT_EQ(config.num_states(), 2u);
+  // The dead interior id is released (allocation count drops); live ids
+  // are NOT re-indexed — that stability is what lets Fenwick sums, scratch
+  // arrays and memoized transitions survive compaction.
+  EXPECT_EQ(config.num_allocated_states(), 2u);
+  EXPECT_GT(config.registry_version(), version);
   EXPECT_EQ(config.population_size(), 2u);
   EXPECT_EQ(config.count_of(2), 0u);
   EXPECT_EQ(config.count_of(1), 1u);
   EXPECT_EQ(config.count_of(3), 1u);
+  EXPECT_EQ(config.index_of(1), id1);
+  EXPECT_EQ(config.index_of(3), id3);
+  // A newly registered state reuses the reclaimed slot instead of growing
+  // the arena.
+  const auto id4 = config.index_of(4);
+  EXPECT_EQ(id4, id2);
+  EXPECT_EQ(config.num_states(), 3u);
+}
+
+TEST(Counts, CompactTrimsTrailingDeadIds) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{1, 2, 3});
+  const auto id3 = config.index_of(3);
+  config.remove_at(id3, 1);
+  config.compact();
+  // A dead id at the arena's tail is trimmed outright: the registry (and
+  // the Fenwick tree) shrink.
+  EXPECT_EQ(config.num_states(), 2u);
+  EXPECT_EQ(config.num_allocated_states(), 2u);
+  EXPECT_EQ(config.count_of(3), 0u);
+  EXPECT_EQ(config.count_of(1), 1u);
+  EXPECT_EQ(config.count_of(2), 1u);
+}
+
+TEST(Counts, ChurnWithCompactKeepsTheRegistryBounded) {
+  // Regression for long adversarial/churn runs: repeatedly move the whole
+  // population through fresh states.  Without dead-id reclamation the
+  // registry would end holding every state ever seen (~50·64 entries);
+  // with compact() releasing dead ids for reuse it stays O(live).
+  CountsConfiguration<Epidemic> config(std::vector<int>(64, 0));
+  int next_state = 1;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 64; ++i) {
+      config.remove_at(config.sample_class(0), 1);
+      config.add(next_state++, 1);
+    }
+    config.compact();
+    EXPECT_EQ(config.population_size(), 64u);
+    EXPECT_EQ(config.num_live_states(), 64u);
+    ASSERT_LE(config.num_states(), 256u) << "cycle " << cycle;
+  }
 }
 
 TEST(Counts, CountIfAndForEach) {
@@ -160,8 +207,12 @@ TEST(Fenwick, LiveStateCountTracksNonzeroEntries) {
   EXPECT_EQ(config.num_live_states(), 2u);
   config.remove_at(a, 4);
   config.compact();
-  EXPECT_EQ(config.num_states(), 1u);
+  // id2 (trailing, dead) is trimmed; id0 (interior, dead) is released to
+  // the free list but keeps its slot, so the arena extent is 2.
+  EXPECT_EQ(config.num_states(), 2u);
+  EXPECT_EQ(config.num_allocated_states(), 1u);
   EXPECT_EQ(config.num_live_states(), 1u);
+  EXPECT_EQ(config.count_of(2), 2u);  // the live state's id survived
 }
 
 TEST(Fenwick, SampleClassNeverReturnsZeroCountEntries) {

@@ -1,0 +1,330 @@
+// Memoized transition cache: unit tests, bit-identical cached-vs-uncached
+// determinism for every deterministic-δ protocol, and naive-vs-batched
+// statistical equivalence for the interned engine across the shipped
+// protocol zoo (the newly deterministic baselines plus the randomized
+// SilentSsr path).
+#include "pp/delta_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/measure.hpp"
+#include "baselines/cai_izumi_wada.hpp"
+#include "baselines/fight_leader.hpp"
+#include "baselines/loose_leader.hpp"
+#include "baselines/silent_ssr.hpp"
+#include "core/derandomized.hpp"
+#include "core/params.hpp"
+#include "pp/batched_simulator.hpp"
+#include "pp/epidemic.hpp"
+#include "pp/simulator.hpp"
+
+namespace ssle::pp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DeltaCache unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaCache, PackUnpackRoundTrips) {
+  const auto key = DeltaCache::pack(0xdeadbeefu, 0x12345678u);
+  const auto [a, b] = DeltaCache::unpack(key);
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x12345678u);
+}
+
+TEST(DeltaCache, InsertLookupClear) {
+  DeltaCache cache;
+  std::uint64_t v = 0;
+  EXPECT_FALSE(cache.lookup(DeltaCache::pack(1, 2), v));
+  cache.insert(DeltaCache::pack(1, 2), DeltaCache::pack(3, 4));
+  ASSERT_TRUE(cache.lookup(DeltaCache::pack(1, 2), v));
+  EXPECT_EQ(DeltaCache::unpack(v), (std::pair<std::uint32_t, std::uint32_t>{3, 4}));
+  EXPECT_FALSE(cache.lookup(DeltaCache::pack(2, 1), v));  // ordered pairs
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(DeltaCache::pack(1, 2), v));
+}
+
+TEST(DeltaCache, GrowthPreservesEveryEntry) {
+  DeltaCache cache;
+  const std::uint32_t kEntries = 40000;  // well past the 1024-slot start
+  for (std::uint32_t i = 0; i < kEntries; ++i) {
+    cache.insert(DeltaCache::pack(i, i + 1), DeltaCache::pack(i + 2, i + 3));
+  }
+  EXPECT_EQ(cache.size(), kEntries);
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < kEntries; ++i) {
+    ASSERT_TRUE(cache.lookup(DeltaCache::pack(i, i + 1), v)) << i;
+    EXPECT_EQ(v, DeltaCache::pack(i + 2, i + 3));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical determinism: for a deterministic δ the memoized engine must
+// reproduce the uncached engine's run EXACTLY — same RNG consumption, same
+// id sequences, same final configuration — for both block samplers.
+// ---------------------------------------------------------------------------
+
+template <Protocol P>
+void expect_bit_identical_runs(const P& proto, std::uint64_t seed,
+                               std::uint64_t steps, BlockSampling sampling) {
+  static_assert(kDeterministicDelta<P>);
+  BatchedSimulator<P> cached(proto, seed, sampling, DeltaMemo::kEnabled);
+  BatchedSimulator<P> uncached(proto, seed, sampling, DeltaMemo::kDisabled);
+  cached.step(steps);
+  uncached.step(steps);
+  EXPECT_EQ(cached.interactions(), uncached.interactions());
+  EXPECT_TRUE(cached.config().to_states() == uncached.config().to_states());
+  EXPECT_EQ(cached.config().num_live_states(),
+            uncached.config().num_live_states());
+  EXPECT_EQ(uncached.delta_cache_hits(), 0u);
+  EXPECT_EQ(uncached.delta_cache_misses(), 0u);
+  EXPECT_GT(cached.delta_cache_hits() + cached.delta_cache_misses(), 0u);
+}
+
+TEST(DeltaMemoIdentical, Epidemic) {
+  Epidemic proto{256};
+  for (const auto sampling :
+       {BlockSampling::kAuto, BlockSampling::kDense, BlockSampling::kFenwick}) {
+    expect_bit_identical_runs(proto, 17, 5000, sampling);
+  }
+}
+
+TEST(DeltaMemoIdentical, DerandomizedElectLeader) {
+  const core::Params params = core::Params::make(64, 16);
+  core::DerandomizedElectLeader proto(params);
+  for (const auto sampling :
+       {BlockSampling::kAuto, BlockSampling::kDense, BlockSampling::kFenwick}) {
+    expect_bit_identical_runs(proto, 23, 20000, sampling);
+  }
+}
+
+TEST(DeltaMemoIdentical, DeterministicBaselines) {
+  baselines::CaiIzumiWada ciw(32);
+  baselines::FightLeaderElection fle(128);
+  baselines::LooseLeaderElection lle(128);
+  for (const auto sampling :
+       {BlockSampling::kAuto, BlockSampling::kFenwick}) {
+    expect_bit_identical_runs(ciw, 31, 20000, sampling);
+    expect_bit_identical_runs(fle, 37, 5000, sampling);
+    expect_bit_identical_runs(lle, 41, 20000, sampling);
+  }
+}
+
+TEST(DeltaMemoIdentical, RunResultMatchesThroughRunUntil) {
+  Epidemic proto{512};
+  const auto probe = [](const CountsConfiguration<Epidemic>& c,
+                        std::uint64_t) {
+    return c.count_of(1) == c.population_size();
+  };
+  BatchedSimulator<Epidemic> cached(proto, 5, BlockSampling::kAuto,
+                                    DeltaMemo::kEnabled);
+  BatchedSimulator<Epidemic> uncached(proto, 5, BlockSampling::kAuto,
+                                      DeltaMemo::kDisabled);
+  const auto rc = cached.run_until(probe, 1u << 22);
+  const auto ru = uncached.run_until(probe, 1u << 22);
+  EXPECT_TRUE(rc.converged);
+  EXPECT_EQ(rc.converged, ru.converged);
+  EXPECT_EQ(rc.interactions, ru.interactions);
+  EXPECT_GT(cached.delta_cache_hits(), 0u);
+}
+
+TEST(DeltaMemo, CacheActuallyHitsOnNarrowRegistries) {
+  // Epidemic has ≤ 4 ordered pair types alive at any time: after warmup the
+  // cache should absorb nearly every transition.
+  Epidemic proto{1024};
+  BatchedSimulator<Epidemic> sim(proto, 7);
+  sim.step(50000);
+  EXPECT_GT(sim.delta_cache_hits(), 10 * sim.delta_cache_misses());
+}
+
+// ---------------------------------------------------------------------------
+// Statistical equivalence vs the naive engine for the protocols whose
+// batched path changed in this PR: the newly deterministic baselines (now
+// bulk-applied + memoized) and the randomized SilentSsr (interned,
+// scratch-reuse path).  Epidemic and ElectLeader equivalence live in
+// test_batched_simulator.cpp.
+// ---------------------------------------------------------------------------
+
+struct SampleStats {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+SampleStats stats_of(const std::vector<double>& xs) {
+  double sum = 0.0, sumsq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  const double var = sumsq / static_cast<double>(xs.size()) - mean * mean;
+  return {mean, std::sqrt(std::max(0.0, var))};
+}
+
+/// Mean first-hit times of `naive_done` / `batched_done` over many seeds
+/// must agree within a wide band (engines are statistically equivalent,
+/// never bit-wise).
+template <Protocol P, typename NaiveDone, typename BatchedDone>
+void expect_engines_statistically_equivalent(
+    const P& proto, int trials, std::uint64_t budget, NaiveDone&& naive_done,
+    BatchedDone&& batched_done) {
+  std::vector<double> naive, batched;
+  for (int t = 0; t < trials; ++t) {
+    {
+      Simulator<P> sim(proto, 100 + static_cast<std::uint64_t>(t));
+      const auto r = sim.run_until(naive_done, budget, 1);
+      ASSERT_TRUE(r.converged) << "naive trial " << t;
+      naive.push_back(static_cast<double>(r.interactions));
+    }
+    {
+      BatchedSimulator<P> sim(proto, 9000 + static_cast<std::uint64_t>(t));
+      const auto r = sim.run_until(batched_done, budget, 1);
+      ASSERT_TRUE(r.converged) << "batched trial " << t;
+      batched.push_back(static_cast<double>(r.interactions));
+    }
+  }
+  const auto sn = stats_of(naive);
+  const auto sb = stats_of(batched);
+  EXPECT_GT(sb.mean, 0.5 * sn.mean)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+  EXPECT_LT(sb.mean, 2.0 * sn.mean)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+}
+
+TEST(InternedEquivalence, FightLeaderElection) {
+  baselines::FightLeaderElection proto(64);
+  expect_engines_statistically_equivalent(
+      proto, 150, 1u << 20,
+      [&](const Population<baselines::FightLeaderElection>& pop,
+          std::uint64_t) { return proto.leader_count(pop.states()) == 1; },
+      [](const CountsConfiguration<baselines::FightLeaderElection>& c,
+         std::uint64_t) {
+        return c.count_if(baselines::FightLeaderElection::is_leader) == 1;
+      });
+}
+
+TEST(InternedEquivalence, CaiIzumiWada) {
+  baselines::CaiIzumiWada proto(8);
+  expect_engines_statistically_equivalent(
+      proto, 100, 1u << 22,
+      [&](const Population<baselines::CaiIzumiWada>& pop, std::uint64_t) {
+        return proto.is_stable(pop.states());
+      },
+      [&](const CountsConfiguration<baselines::CaiIzumiWada>& c,
+          std::uint64_t) {
+        // Ranks form a permutation of [n] iff all n classes are live (each
+        // then necessarily has count 1).
+        return c.num_live_states() == proto.population_size();
+      });
+}
+
+TEST(InternedEquivalence, LooseLeaderElection) {
+  // All-leaders start (the interesting fight: duplicate leaders abdicate
+  // pairwise while zero timers can promote fresh ones): first moment the
+  // population is down to exactly one leader.
+  baselines::LooseLeaderElection proto(48);
+  const std::vector<baselines::LooseLeaderElection::State> all_leaders(
+      48, baselines::LooseLeaderElection::State{true, 0});
+  const std::uint64_t budget = 1u << 20;
+  const int trials = 120;
+  std::vector<double> naive, batched;
+  for (int t = 0; t < trials; ++t) {
+    {
+      Simulator<baselines::LooseLeaderElection> sim(
+          proto, Population<baselines::LooseLeaderElection>(all_leaders),
+          100 + static_cast<std::uint64_t>(t));
+      const auto r = sim.run_until(
+          [&](const Population<baselines::LooseLeaderElection>& pop,
+              std::uint64_t) { return proto.leader_count(pop.states()) == 1; },
+          budget, 1);
+      ASSERT_TRUE(r.converged) << "naive trial " << t;
+      naive.push_back(static_cast<double>(r.interactions));
+    }
+    {
+      BatchedSimulator<baselines::LooseLeaderElection> sim(
+          proto,
+          CountsConfiguration<baselines::LooseLeaderElection>(all_leaders),
+          9000 + static_cast<std::uint64_t>(t));
+      const auto r = sim.run_until(
+          [](const CountsConfiguration<baselines::LooseLeaderElection>& c,
+             std::uint64_t) {
+            return c.count_if(baselines::LooseLeaderElection::is_leader) == 1;
+          },
+          budget, 1);
+      ASSERT_TRUE(r.converged) << "batched trial " << t;
+      batched.push_back(static_cast<double>(r.interactions));
+    }
+  }
+  const auto sn = stats_of(naive);
+  const auto sb = stats_of(batched);
+  EXPECT_GT(sb.mean, 0.5 * sn.mean)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+  EXPECT_LT(sb.mean, 2.0 * sn.mean)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+}
+
+TEST(InternedEquivalence, SilentSsrRandomizedPath) {
+  // SilentSsr keeps a randomized δ: this exercises the interned scratch-
+  // reuse path (copy-assign + hinted re-intern) rather than the memo cache.
+  baselines::SilentSsrBaseline proto(12);
+  expect_engines_statistically_equivalent(
+      proto, 60, 1u << 22,
+      [&](const Population<baselines::SilentSsrBaseline>& pop, std::uint64_t) {
+        return proto.is_stable(pop.states());
+      },
+      [&](const CountsConfiguration<baselines::SilentSsrBaseline>& c,
+          std::uint64_t) { return proto.is_stable(c.to_states()); });
+}
+
+// ---------------------------------------------------------------------------
+// The analysis plumbing: derandomized ElectLeader through both engines.
+// ---------------------------------------------------------------------------
+
+TEST(InternedEquivalence, DerandomizedElectLeader) {
+  // Class identity includes the synthetic coin (δ reads it), so the
+  // counts projection is an exact lumping and the engines must agree in
+  // distribution — checked on clean-start stabilization times.
+  const core::Params params = core::Params::make(16, 4);
+  const std::uint64_t budget = 4 * analysis::default_budget(params);
+  const int trials = 20;
+  std::vector<double> naive, batched;
+  for (int t = 0; t < trials; ++t) {
+    const auto rn = analysis::stabilize_derandomized(
+        analysis::Engine::kNaive, params, 300 + t, budget);
+    ASSERT_TRUE(rn.converged) << "naive trial " << t;
+    naive.push_back(rn.parallel_time);
+    const auto rb = analysis::stabilize_derandomized(
+        analysis::Engine::kBatched, params, 900 + t, budget);
+    ASSERT_TRUE(rb.converged) << "batched trial " << t;
+    EXPECT_EQ(rb.leaders, 1u);
+    batched.push_back(rb.parallel_time);
+  }
+  const auto sn = stats_of(naive);
+  const auto sb = stats_of(batched);
+  // Stabilization time is heavy-tailed and 20 trials is modest: wide band,
+  // same spirit as the ElectLeader test in test_batched_simulator.cpp.
+  EXPECT_GT(sb.mean, 0.4 * sn.mean)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+  EXPECT_LT(sb.mean, 2.5 * sn.mean)
+      << "naive mean=" << sn.mean << " batched mean=" << sb.mean;
+}
+
+TEST(StabilizeDerandomized, ConvergesOnBothEnginesWithOneLeader) {
+  const core::Params params = core::Params::make(24, 8);
+  const std::uint64_t budget = 4 * analysis::default_budget(params);
+  for (const auto engine :
+       {analysis::Engine::kNaive, analysis::Engine::kBatched}) {
+    const auto res = analysis::stabilize_derandomized(engine, params, 3, budget);
+    EXPECT_TRUE(res.converged) << analysis::engine_name(engine);
+    EXPECT_EQ(res.leaders, 1u) << analysis::engine_name(engine);
+  }
+}
+
+}  // namespace
+}  // namespace ssle::pp

@@ -1,0 +1,172 @@
+// StateInterner: id stability, reclamation/reuse, growth, fallbacks.
+#include "pp/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssle::pp {
+namespace {
+
+TEST(Interner, InternIsIdempotentAndIdsAreDense) {
+  StateInterner<int> in;
+  const auto a = in.intern(10);
+  const auto b = in.intern(20);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.intern(10), a);
+  EXPECT_EQ(in.intern(20), b);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.capacity(), 2u);
+  EXPECT_EQ(in.state(a), 10);
+  EXPECT_EQ(in.state(b), 20);
+}
+
+TEST(Interner, FindNeverAllocates) {
+  StateInterner<int> in;
+  EXPECT_EQ(in.find(7), StateInterner<int>::kNoId);
+  EXPECT_EQ(in.size(), 0u);
+  const auto id = in.intern(7);
+  EXPECT_EQ(in.find(7), id);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, GrowthKeepsEveryIdResolvable) {
+  // Far past the initial 16-slot table: every rebuild must re-seat every
+  // allocated id.
+  StateInterner<int> in;
+  std::vector<std::uint32_t> ids;
+  for (int s = 0; s < 5000; ++s) ids.push_back(in.intern(s));
+  EXPECT_EQ(in.size(), 5000u);
+  for (int s = 0; s < 5000; ++s) {
+    EXPECT_EQ(in.intern(s), ids[static_cast<std::size_t>(s)]) << s;
+    EXPECT_EQ(in.state(ids[static_cast<std::size_t>(s)]), s) << s;
+  }
+}
+
+TEST(Interner, ReclaimReleasesAndReusesIdsKeepingSurvivorsStable) {
+  StateInterner<int> in;
+  std::vector<std::uint32_t> ids;
+  for (int s = 0; s < 100; ++s) ids.push_back(in.intern(s));
+  const auto v0 = in.version();
+
+  // Kill the even states.
+  const auto released =
+      in.reclaim([&](std::uint32_t id) { return in.state(id) % 2 == 0; });
+  EXPECT_EQ(released, 50u);
+  EXPECT_EQ(in.size(), 50u);
+  EXPECT_GT(in.version(), v0);
+  EXPECT_EQ(in.capacity(), 100u);  // no shrink yet: slots await reuse
+
+  // Survivors keep their ids; dead states are gone from lookup.
+  for (int s = 1; s < 100; s += 2) {
+    EXPECT_EQ(in.find(s), ids[static_cast<std::size_t>(s)]) << s;
+    EXPECT_TRUE(in.allocated(ids[static_cast<std::size_t>(s)]));
+  }
+  for (int s = 0; s < 100; s += 2) {
+    EXPECT_EQ(in.find(s), StateInterner<int>::kNoId) << s;
+    EXPECT_FALSE(in.allocated(ids[static_cast<std::size_t>(s)]));
+  }
+
+  // New states reuse reclaimed slots: the arena does not grow.
+  for (int s = 1000; s < 1050; ++s) {
+    const auto id = in.intern(s);
+    EXPECT_LT(id, 100u);
+    EXPECT_EQ(in.state(id), s);
+  }
+  EXPECT_EQ(in.capacity(), 100u);
+  EXPECT_EQ(in.size(), 100u);
+}
+
+TEST(Interner, ReclaimNothingDoesNotBumpVersion) {
+  StateInterner<int> in;
+  in.intern(1);
+  const auto v0 = in.version();
+  EXPECT_EQ(in.reclaim([](std::uint32_t) { return false; }), 0u);
+  EXPECT_EQ(in.version(), v0);
+}
+
+TEST(Interner, ShrinkTrimsTrailingReclaimedSlots) {
+  StateInterner<int> in;
+  for (int s = 0; s < 10; ++s) in.intern(s);
+  // Kill ids 4..9 (the tail) and 1 (interior).
+  in.reclaim([&](std::uint32_t id) { return id >= 4 || id == 1; });
+  EXPECT_EQ(in.shrink(), 4u);  // tail trimmed down to id 3
+  EXPECT_EQ(in.size(), 3u);
+  EXPECT_TRUE(in.allocated(0));
+  EXPECT_FALSE(in.allocated(1));  // interior free slot survives shrink
+  EXPECT_TRUE(in.allocated(2));
+  EXPECT_TRUE(in.allocated(3));
+  // The interior slot is still reusable; trimmed ids are not handed out.
+  const auto id = in.intern(77);
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(in.capacity(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate hash: correctness must not depend on hash quality.
+// ---------------------------------------------------------------------------
+
+struct CollidingState {
+  int v = 0;
+  friend bool operator==(const CollidingState&, const CollidingState&) =
+      default;
+};
+
+}  // namespace
+}  // namespace ssle::pp
+
+template <>
+struct std::hash<ssle::pp::CollidingState> {
+  std::size_t operator()(const ssle::pp::CollidingState&) const noexcept {
+    return 42;  // every state collides
+  }
+};
+
+namespace ssle::pp {
+namespace {
+
+TEST(Interner, SurvivesTotalHashCollisions) {
+  static_assert(HashableState<CollidingState>);
+  StateInterner<CollidingState> in;
+  std::vector<std::uint32_t> ids;
+  for (int s = 0; s < 200; ++s) ids.push_back(in.intern(CollidingState{s}));
+  EXPECT_EQ(in.size(), 200u);
+  for (int s = 0; s < 200; ++s) {
+    EXPECT_EQ(in.intern(CollidingState{s}), ids[static_cast<std::size_t>(s)]);
+  }
+  in.reclaim([&](std::uint32_t id) { return in.state(id).v < 100; });
+  for (int s = 100; s < 200; ++s) {
+    EXPECT_EQ(in.find(CollidingState{s}), ids[static_cast<std::size_t>(s)]);
+  }
+  EXPECT_EQ(in.find(CollidingState{5}), StateInterner<CollidingState>::kNoId);
+}
+
+// ---------------------------------------------------------------------------
+// Non-hashable fallback.
+// ---------------------------------------------------------------------------
+
+struct OpaqueKey {
+  std::string tag;
+  friend bool operator==(const OpaqueKey&, const OpaqueKey&) = default;
+};
+
+TEST(Interner, LinearScanFallbackMatchesHashedSemantics) {
+  static_assert(!HashableState<OpaqueKey>);
+  StateInterner<OpaqueKey> in;
+  const auto a = in.intern(OpaqueKey{"a"});
+  const auto b = in.intern(OpaqueKey{"b"});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.intern(OpaqueKey{"a"}), a);
+  EXPECT_EQ(in.find(OpaqueKey{"b"}), b);
+  EXPECT_EQ(in.find(OpaqueKey{"c"}), StateInterner<OpaqueKey>::kNoId);
+  in.reclaim([&](std::uint32_t id) { return id == a; });
+  EXPECT_EQ(in.find(OpaqueKey{"a"}), StateInterner<OpaqueKey>::kNoId);
+  const auto c = in.intern(OpaqueKey{"c"});
+  EXPECT_EQ(c, a);  // reuses the reclaimed slot
+  EXPECT_EQ(in.find(OpaqueKey{"b"}), b);
+}
+
+}  // namespace
+}  // namespace ssle::pp
