@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "analysis/measure.hpp"
 #include "core/elect_leader.hpp"
 #include "core/propagate_reset.hpp"
 #include "pp/scheduler.hpp"
@@ -18,21 +19,15 @@ namespace {
 
 using namespace ssle;
 
-double epidemic_time(std::uint32_t n, std::uint64_t seed) {
-  std::vector<char> infected(n, 0);
-  infected[0] = 1;
-  pp::UniformScheduler sched(n, seed);
-  std::uint32_t count = 1;
-  std::uint64_t t = 0;
-  while (count < n) {
-    const auto [a, b] = sched.next();
-    ++t;
-    if (infected[a] != infected[b]) {
-      infected[a] = infected[b] = 1;
-      ++count;
-    }
-  }
-  return static_cast<double>(t);
+/// Lemma A.2 measurement through the engine-generic entry point
+/// (--engine=naive|batched|leaping); probe_every=1 keeps exact hit times
+/// so the fitted constant is not inflated by probe-grid overshoot.
+double epidemic_time(analysis::Engine engine, std::uint32_t n,
+                     std::uint64_t seed) {
+  const auto r = analysis::epidemic_convergence(engine, n, seed,
+                                                /*max_interactions=*/0,
+                                                /*probe_every=*/1);
+  return r.converged ? static_cast<double>(r.interactions) : -1.0;
 }
 
 struct ResetPhases {
@@ -81,12 +76,15 @@ int main(int argc, char** argv) {
   const auto trials = cli.get_count("trials", 20);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 80));
   const auto jobs = cli.get_jobs();
+  const auto engine =
+      analysis::engine_from_string(cli.get_string("engine", "naive"));
 
   analysis::print_banner(
       "F9 (Lemma A.2 + Corollary C.3)",
       "Epidemics finish in < 7·n·ln n interactions w.h.p.; PropagateReset "
       "reaches fully-dormant and then computing in O(n log n) each",
       "epidemic/(n·ln n) < 7; both reset phases scale ~n·log n");
+  std::cout << "epidemic engine: " << analysis::engine_name(engine) << "\n";
 
   util::Table table({"n", "epidemic(mean)", "epi/(n·ln n)", "dormant@(mean)",
                      "computing@(mean)", "fails"});
@@ -94,7 +92,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t n : {16u, 32u, 64u, 128u, 256u, 512u}) {
     const auto epi =
         analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
-          return epidemic_time(n, s);
+          return epidemic_time(engine, n, s);
         }, jobs);
     const core::Params params = core::Params::make(n, std::max(1u, n / 4));
     double dorm_sum = 0, comp_sum = 0;

@@ -39,10 +39,20 @@
 //       the same binary is the like-for-like comparison point against the
 //       PR 3 numbers recorded in ROADMAP/BENCH_PR5.json.
 //
+//   [6] Pair-type leap engine — the PR-6 A/B.  Same Lemma A.2 epidemic
+//       measurement as section 3, twice: a multi-trial sweep at n = --nbig
+//       on the leaping engine (law parity with section 3's batched means
+//       plus the wall-clock ratio; --gate-perf fails the run if either
+//       regresses), and the headline single-trial point at n = --nleap
+//       (default 10^10 — beyond the naive engine's 32-bit population
+//       ceiling) where the banded batch path resolves whole windows in
+//       O(1) draws and the sweep completes in about a second.
+//
 //   --n=64 --trials=8 --seed=7 --jobs=0 (0 = all cores)
 //   --ncross=1024 --cross-trials=1 --nbig=1000000
 //   --nfen=100000 --fen-interactions=1000000
-//   --nmem=100000 --mem-interactions=300000 --json=<path> --gate-perf
+//   --nmem=100000 --mem-interactions=300000
+//   --nleap=10000000000 --json=<path> --gate-perf
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -91,6 +101,12 @@ double epidemic_time_batched(std::uint32_t n, std::uint64_t seed) {
   return r.converged ? static_cast<double>(r.interactions) : -1.0;
 }
 
+double epidemic_time_leaping(std::uint64_t n, std::uint64_t seed) {
+  const auto r =
+      analysis::epidemic_convergence(analysis::Engine::kLeaping, n, seed);
+  return r.converged ? static_cast<double>(r.interactions) : -1.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,12 +123,14 @@ int main(int argc, char** argv) {
   const auto fen_interactions = cli.get_count("fen-interactions", 1000000);
   const auto nmem = cli.get_count_u32("nmem", 100000);
   const auto mem_interactions = cli.get_count("mem-interactions", 300000);
+  const auto nleap =
+      static_cast<std::uint64_t>(cli.get_count("nleap", 10000000000ull));
   const auto json_path = cli.get_string("json", "");
   const bool gate_perf = cli.has("gate-perf");
 
   auto doc = util::Json::object();
   doc.set("bench", "parallel_sweep");
-  doc.set("pr", 5);
+  doc.set("pr", 6);
 
   analysis::print_banner(
       "PS (parallel sweep runner)",
@@ -210,6 +228,10 @@ int main(int argc, char** argv) {
   }
 
   // [3] A paper sweep point at n >= 10^6: Lemma A.2 epidemic, batched.
+  // The summary and wall clock feed section 6's leap-vs-batched parity
+  // gate, so they live in the outer scope.
+  util::Summary batched_epi_summary;
+  double batched_epi_wall_s = 0.0;
   {
     t0 = Clock::now();
     const auto res = analysis::parallel_sweep(
@@ -244,6 +266,8 @@ int main(int argc, char** argv) {
     s3.set("bound_held", res.failures == 0 && res.summary.max < bound);
     s3.set("wall_s", wall);
     doc.set("epidemic_scale", std::move(s3));
+    batched_epi_summary = res.summary;
+    batched_epi_wall_s = wall;
   }
 
   // [4] Fenwick registry at q ≈ n: ElectLeader throughput from a
@@ -482,6 +506,98 @@ int main(int argc, char** argv) {
     doc.set("interned_memoized", std::move(s5));
   }
 
+  // [6] Pair-type leap engine: the same Lemma A.2 measurement as section
+  // 3 on the leaping engine.  Law parity first (the leap trajectory is
+  // exactly distributed as the sequential one; the means must agree up to
+  // sampling noise), wall clock second.
+  bool leap_gate_ok = true;
+  {
+    t0 = Clock::now();
+    const auto res = analysis::parallel_sweep(
+        seed + 6000, trials,
+        [&](std::uint64_t s) {
+          return epidemic_time_leaping(nbig, s);
+        },
+        jobs);
+    const double wall = seconds_since(t0);
+
+    const double leap_ci = util::ci95_halfwidth(res.summary);
+    const double batched_ci = util::ci95_halfwidth(batched_epi_summary);
+    // Independent seed sets: the gap between the two means is within
+    // 2·sqrt(ci_l² + ci_b²) with ≈95% probability when the laws agree; 3×
+    // keeps shared-CI-runner flakiness out of the gate without letting a
+    // real law divergence through.
+    const double band =
+        3.0 * std::sqrt(leap_ci * leap_ci + batched_ci * batched_ci);
+    const bool law_ok =
+        res.failures == 0 &&
+        std::abs(res.summary.mean - batched_epi_summary.mean) <= band;
+    // The leap engine exists to be faster on this workload; parity (with
+    // the same slack as the memo gate) is the floor, not the target.
+    const bool wall_ok = wall <= 1.25 * batched_epi_wall_s + 0.02;
+    leap_gate_ok = law_ok && wall_ok;
+
+    util::Table t6({"engine", "n", "epidemic(mean)", "ci95", "fails",
+                    "wall_s"});
+    t6.add_row({"batched", util::fmt_int(nbig),
+                util::fmt(batched_epi_summary.mean, 0),
+                util::fmt(batched_ci, 0), "0",
+                util::fmt(batched_epi_wall_s, 2)});
+    t6.add_row({"leaping", util::fmt_int(nbig),
+                util::fmt(res.summary.mean, 0), util::fmt(leap_ci, 0),
+                util::fmt_int(static_cast<long long>(res.failures)),
+                util::fmt(wall, 2)});
+    std::cout << "\n[6] Pair-type leap engine (Lemma A.2 epidemic, "
+              << trials << " trials at n=" << nbig << "):\n";
+    t6.print(std::cout);
+    t6.print_csv(std::cout);
+    std::cout << "leap-vs-batched parity gate: law "
+              << (law_ok ? "PASS" : "FAIL") << " (|Δmean| "
+              << util::fmt(std::abs(res.summary.mean -
+                                    batched_epi_summary.mean),
+                           0)
+              << " vs band " << util::fmt(band, 0) << "), wall "
+              << (wall_ok ? "PASS" : "FAIL") << " ("
+              << util::fmt(wall, 2) << "s vs batched "
+              << util::fmt(batched_epi_wall_s, 2) << "s)\n";
+
+    // The headline point: n = 10^10 — 250× beyond the naive engine's
+    // 32-bit population ceiling — converges in roughly a second because
+    // the banded batch path resolves whole windows in O(1) draws.
+    t0 = Clock::now();
+    const auto head = analysis::epidemic_convergence(
+        analysis::Engine::kLeaping, nleap, seed + 6500);
+    const double head_wall = seconds_since(t0);
+    const double nl = static_cast<double>(nleap);
+    const double head_bound = 7.0 * nl * std::log(nl);
+    const bool head_ok = head.converged &&
+                         static_cast<double>(head.interactions) < head_bound;
+    std::cout << "headline: n=" << nleap << " epidemic "
+              << (head.converged ? "converged" : "DID NOT CONVERGE")
+              << " at " << head.interactions << " interactions ("
+              << util::fmt(static_cast<double>(head.interactions) /
+                               (nl * std::log(nl)),
+                           2)
+              << "·n·ln n, w.h.p. bound " << (head_ok ? "HELD" : "EXCEEDED")
+              << ") in " << util::fmt(head_wall, 2) << "s\n";
+
+    auto s6 = util::Json::object();
+    s6.set("n", static_cast<std::uint64_t>(nbig));
+    s6.set("leap_mean_interactions", res.summary.mean);
+    s6.set("batched_mean_interactions", batched_epi_summary.mean);
+    s6.set("failures", static_cast<std::uint64_t>(res.failures));
+    s6.set("leap_wall_s", wall);
+    s6.set("batched_wall_s", batched_epi_wall_s);
+    s6.set("law_gate_ok", law_ok);
+    s6.set("wall_gate_ok", wall_ok);
+    s6.set("headline_n", nleap);
+    s6.set("headline_interactions", head.interactions);
+    s6.set("headline_converged", head.converged);
+    s6.set("headline_bound_held", head_ok);
+    s6.set("headline_wall_s", head_wall);
+    doc.set("leap_engine", std::move(s6));
+  }
+
   if (!json_path.empty()) {
     util::write_json_file(json_path, doc);
     std::cout << "\nstructured results written to " << json_path << "\n";
@@ -489,6 +605,7 @@ int main(int argc, char** argv) {
 
   // The determinism check is this binary's reason to exist — fail loudly
   // (CI runs it on every push).  --gate-perf additionally fails the run
-  // when the memoized engine regresses on the epidemic workload.
-  return (ok && (!gate_perf || gate_ok)) ? 0 : 1;
+  // when the memoized engine regresses on the epidemic workload or the
+  // leap engine loses law or wall-clock parity with the batched engine.
+  return (ok && (!gate_perf || (gate_ok && leap_gate_ok))) ? 0 : 1;
 }

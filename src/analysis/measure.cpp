@@ -1,5 +1,6 @@
 #include "analysis/measure.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,8 @@
 #include "core/derandomized.hpp"
 #include "core/safety.hpp"
 #include "pp/batched_simulator.hpp"
+#include "pp/epidemic.hpp"
+#include "pp/leaping_simulator.hpp"
 #include "pp/simulator.hpp"
 
 namespace ssle::analysis {
@@ -92,6 +95,10 @@ StabilizationResult stabilize(Engine engine, StartKind start,
       return stabilize_from(params, clean_config(params), seed,
                             max_interactions);
     }
+    // kBatched and kLeaping both take the counts path: ElectLeader_r draws
+    // randomness in δ, so it is not leap-eligible (pp::LeapEligible) and a
+    // leap request degrades to the nearest exact engine (documented in
+    // measure.hpp; the routing is pinned by a test).
     core::ElectLeader protocol(params);
     return stabilize_counts_from(
         params, pp::CountsConfiguration<core::ElectLeader>(protocol), seed,
@@ -183,6 +190,11 @@ StabilizationResult stabilize_derandomized(Engine engine,
     return res;
   }
 
+  // kBatched and kLeaping both land here: DerandomizedElectLeader has a
+  // deterministic δ but keeps q ≈ n distinct states (FastLE identifiers,
+  // ranks), so it fails the narrow-registry half of pp::LeapEligible —
+  // and with almost every pair type active there are no null runs for the
+  // leap engine to jump anyway.
   pp::BatchedSimulator<core::DerandomizedElectLeader> sim(protocol, seed);
   const auto probe =
       [&](const pp::CountsConfiguration<core::DerandomizedElectLeader>& c,
@@ -200,14 +212,24 @@ StabilizationResult stabilize_derandomized(Engine engine,
 Engine engine_from_string(const std::string& name) {
   if (name == "naive") return Engine::kNaive;
   if (name == "batched") return Engine::kBatched;
-  std::fprintf(stderr,
-               "error: --engine=%s is not a valid engine (naive|batched)\n",
-               name.c_str());
+  if (name == "leaping") return Engine::kLeaping;
+  std::fprintf(
+      stderr,
+      "error: --engine=%s is not a valid engine (naive|batched|leaping)\n",
+      name.c_str());
   std::exit(2);
 }
 
 const char* engine_name(Engine engine) {
-  return engine == Engine::kNaive ? "naive" : "batched";
+  switch (engine) {
+    case Engine::kNaive:
+      return "naive";
+    case Engine::kBatched:
+      return "batched";
+    case Engine::kLeaping:
+      return "leaping";
+  }
+  return "unknown";
 }
 
 StartKind start_from_string(const std::string& name) {
@@ -221,6 +243,72 @@ StartKind start_from_string(const std::string& name) {
 
 const char* start_name(StartKind start) {
   return start == StartKind::kClean ? "clean" : "adversarial";
+}
+
+namespace {
+
+std::uint64_t epidemic_budget(std::uint64_t n) {
+  std::uint64_t log2ceil = 0;
+  while ((std::uint64_t{1} << log2ceil) < n) ++log2ceil;
+  return 64ull * n * std::max<std::uint64_t>(1, log2ceil);
+}
+
+/// {1 infected, n−1 susceptible} as a counts configuration in O(1) —
+/// never an O(n) agent loop, so n = 10^10 costs nothing to set up.
+pp::CountsConfiguration<pp::Epidemic> epidemic_counts(std::uint64_t n) {
+  pp::CountsConfiguration<pp::Epidemic> counts(std::vector<int>{1});
+  counts.add(0, n - 1);
+  return counts;
+}
+
+}  // namespace
+
+pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
+                                   std::uint64_t seed,
+                                   std::uint64_t max_interactions,
+                                   std::uint64_t probe_every) {
+  if (n < 2) return {0, true};
+  if (max_interactions == 0) max_interactions = epidemic_budget(n);
+  // The protocol object's n is only consulted when an engine builds the
+  // clean start itself; both counts engines get the configuration
+  // pre-built, so clamping to uint32 range is harmless bookkeeping.
+  const pp::Epidemic protocol{
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(n, 0xffffffffull))};
+  const auto all_infected = [](const auto& config, std::uint64_t) {
+    return config.count_of(0) == 0;
+  };
+  switch (engine) {
+    case Engine::kNaive: {
+      if (n > 0xffffffffull) {
+        std::fprintf(stderr,
+                     "error: the naive engine materializes n agents; "
+                     "n=%llu exceeds its uint32 population limit "
+                     "(use --engine=batched or --engine=leaping)\n",
+                     static_cast<unsigned long long>(n));
+        std::exit(2);
+      }
+      pp::Simulator<pp::Epidemic> sim(protocol, seed);
+      return sim.run_until(
+          [](const pp::Population<pp::Epidemic>& pop, std::uint64_t) {
+            for (std::uint32_t i = 0; i < pop.size(); ++i) {
+              if (pop[i] == 0) return false;
+            }
+            return true;
+          },
+          max_interactions, probe_every);
+    }
+    case Engine::kBatched: {
+      pp::BatchedSimulator<pp::Epidemic> sim(protocol, epidemic_counts(n),
+                                             seed);
+      return sim.run_until(all_infected, max_interactions, probe_every);
+    }
+    case Engine::kLeaping: {
+      pp::LeapingSimulator<pp::Epidemic> sim(protocol, epidemic_counts(n),
+                                             seed);
+      return sim.run_until(all_infected, max_interactions, probe_every);
+    }
+  }
+  return {0, false};
 }
 
 core::MessageMultiplicity multiplicity_from_string(const std::string& name) {

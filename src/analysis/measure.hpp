@@ -21,6 +21,7 @@
 #include "core/agent.hpp"
 #include "core/elect_leader.hpp"
 #include "core/params.hpp"
+#include "pp/simulator.hpp"
 
 namespace ssle::analysis {
 
@@ -31,11 +32,20 @@ struct StabilizationResult {
   std::uint32_t leaders = 0;  ///< leader count at the end
 };
 
-/// Which simulation engine a measurement should run ElectLeader_r on.
+/// Which simulation engine a measurement should run on.
 /// Graph-restricted workloads (pp::GraphScheduler) are naive-only by
 /// design — pp::BatchedSimulator enforces that with a static_assert on
 /// its scheduler type.
-enum class Engine { kNaive, kBatched };
+///
+/// kLeaping selects pp::LeapingSimulator where the workload is eligible
+/// (deterministic δ AND a narrow registry, pp::LeapEligible).  ElectLeader_r
+/// draws randomness in δ and DerandomizedElectLeader keeps q ≈ n distinct
+/// states, so neither is leap-eligible: stabilize() and
+/// stabilize_derandomized() route kLeaping to the batched engine (the
+/// nearest exact engine) rather than failing — `--engine=leaping` is safe
+/// to pass to every bench, and pays off on the workloads that can leap
+/// (epidemic_convergence below).
+enum class Engine { kNaive, kBatched, kLeaping };
 
 /// Which initial configuration a measurement starts from: the protocol's
 /// clean initial configuration, or an adversarial configuration drawn by
@@ -43,8 +53,8 @@ enum class Engine { kNaive, kBatched };
 /// arbitrary starts).
 enum class StartKind { kClean, kAdversarial };
 
-/// Parses a `--engine=` CLI value ("naive" | "batched"); exits with a
-/// clear error on anything else.
+/// Parses a `--engine=` CLI value ("naive" | "batched" | "leaping"); exits
+/// with a clear error on anything else.
 Engine engine_from_string(const std::string& name);
 const char* engine_name(Engine engine);
 
@@ -109,5 +119,21 @@ StabilizationResult stabilize_from(const core::Params& params,
 /// A generous default interaction budget for (n, r):
 /// c · (n²/r) · log n, scaled to dominate the protocol's constants.
 std::uint64_t default_budget(const core::Params& params);
+
+/// Lemma A.2 acceptance workload: the one-way epidemic from one infected
+/// agent, run to full infection on the chosen engine.  Returns the raw
+/// RunResult (interactions at the first probe where infection is total).
+/// `n` is 64-bit — the leap engine runs this at n = 10^10, beyond the
+/// uint32 population sizes of the agent-array engines — so the counts
+/// configuration is built directly from {1 infected, n−1 susceptible}
+/// (O(1), never an O(n) agent loop).  The naive engine materializes n
+/// agents and is rejected (exit 2) above uint32.  `max_interactions` of 0
+/// means the standard 64 · n · ⌈log2 n⌉ epidemic budget; `probe_every` of
+/// 0 means the engines' default probe grid (n) — pass 1 for exact hit
+/// times when fitting constants at small n (bench_f9).
+pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
+                                   std::uint64_t seed,
+                                   std::uint64_t max_interactions = 0,
+                                   std::uint64_t probe_every = 0);
 
 }  // namespace ssle::analysis

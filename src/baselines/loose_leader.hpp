@@ -37,6 +37,13 @@ class LooseLeaderElection {
   /// memoize transitions over interned class ids (pp/protocol.hpp).
   static constexpr bool kDeterministicInteract = true;
 
+  /// Reachable states are (leader?, timer ≤ τ): O(τ) = O(log n) of them,
+  /// independent of which start the adversary picks — leap-eligible
+  /// (pp/protocol.hpp).  Note leaping rarely *pays* here (almost every
+  /// follower×follower pair changes a timer, so active pair types dominate
+  /// the weight); it is exact regardless, which the TV tests exploit.
+  static constexpr bool kNarrowRegistry = true;
+
   /// τ = timeout_scale · log2(n); holding time grows with timeout_scale.
   explicit LooseLeaderElection(std::uint32_t n, std::uint32_t timeout_scale = 16);
 

@@ -1,40 +1,11 @@
 #include "pp/batched_simulator.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 
+#include "pp/log_combinatorics.hpp"
+
 namespace ssle::pp {
-namespace {
-
-/// ln k!: exact table for small k, Stirling's series beyond (absolute
-/// error < 1e-18 at k ≥ 1024 — below double rounding).  ~10x faster than
-/// lgamma, which dominates hypergeometric sampling otherwise.
-double log_factorial(std::uint64_t k) {
-  static const std::array<double, 1024> small = [] {
-    std::array<double, 1024> t{};
-    double acc = 0.0;
-    for (std::size_t i = 1; i < t.size(); ++i) {
-      acc += std::log(static_cast<double>(i));
-      t[i] = acc;
-    }
-    return t;
-  }();
-  if (k < small.size()) return small[k];
-  const double x = static_cast<double>(k);
-  const double inv = 1.0 / x;
-  const double inv2 = inv * inv;
-  return (x + 0.5) * std::log(x) - x + 0.91893853320467274178 /* ln√(2π) */
-         + inv * (1.0 / 12.0) - inv * inv2 * (1.0 / 360.0) +
-         inv * inv2 * inv2 * (1.0 / 1260.0);
-}
-
-/// log C(n, r).
-double log_choose(std::uint64_t n, std::uint64_t r) {
-  return log_factorial(n) - log_factorial(r) - log_factorial(n - r);
-}
-
-}  // namespace
 
 std::uint64_t sample_hypergeometric(util::Rng& rng, std::uint64_t total,
                                     std::uint64_t successes,
@@ -87,8 +58,15 @@ std::uint64_t sample_hypergeometric(util::Rng& rng, std::uint64_t total,
       if (u < 0.0) return k_down;
     }
   }
-  // Floating-point residue (Σ pmf ≈ 1 - ε): attribute it to the mode.
-  return mode;
+  // Floating-point residue (Σ pmf ≈ 1 - ε): u landed in the sliver of mass
+  // the accumulated pmf failed to cover.  That sliver lives in the tails —
+  // returning the mode here would transfer tail mass to the distribution's
+  // peak, a bias that extreme-tail regimes (huge `total`, tiny `successes`,
+  // exactly what the leap engine stresses) turn into a measurable skew.
+  // Attribute the residue to the outermost support point on the heavier
+  // side instead: both ends have been fully visited (k_up == hi,
+  // k_down == lo), and p_up / p_down hold the last computed tail pmfs.
+  return p_up >= p_down ? hi : lo;
 }
 
 void sample_multivariate_hypergeometric(

@@ -18,6 +18,10 @@ struct Epidemic {
   /// transitions over interned class ids (pp/protocol.hpp).
   static constexpr bool kDeterministicInteract = true;
 
+  /// Exactly two reachable states regardless of n: leap-eligible — the
+  /// leap engine's q × q pair-type table is 2 × 2 (pp/protocol.hpp).
+  static constexpr bool kNarrowRegistry = true;
+
   std::uint32_t n;
 
   std::uint32_t population_size() const { return n; }

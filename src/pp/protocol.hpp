@@ -50,4 +50,33 @@ inline constexpr bool kDeterministicDelta = [] {
 template <typename P>
 concept DeterministicDelta = Protocol<P> && kDeterministicDelta<P>;
 
+/// True when P declares its reachable state space narrow — the set of
+/// distinct states reachable (under δ) from any initial configuration is
+/// bounded by a small q independent of n — by defining
+/// `static constexpr bool kNarrowRegistry = true`.  The leap engine
+/// (pp/leaping_simulator.hpp) precomputes the full q × q pair-type table by
+/// closure over δ, so it requires this bound to hold: protocols whose
+/// registry grows with n (ranks, identifiers, q ≈ n random starts) must
+/// not declare it — their closure would not terminate in bounded space,
+/// and pair-type leaping cannot pay there anyway (almost every pair type
+/// is live, so there are no long null runs to jump).
+template <typename P>
+inline constexpr bool kNarrowRegistry = [] {
+  if constexpr (requires {
+                  { P::kNarrowRegistry } -> std::convertible_to<bool>;
+                }) {
+    return static_cast<bool>(P::kNarrowRegistry);
+  } else {
+    return false;
+  }
+}();
+
+/// Leap eligibility: deterministic δ (pair types have fixed outputs, so a
+/// pair type is durably "null" or "active") AND a narrow registry (the
+/// O(q²) pair-type table is affordable and closes).  The leap engine
+/// static_asserts this; `analysis::stabilize(Engine::kLeaping, …)` routes
+/// ineligible protocols to the batched engine instead.
+template <typename P>
+concept LeapEligible = DeterministicDelta<P> && kNarrowRegistry<P>;
+
 }  // namespace ssle::pp

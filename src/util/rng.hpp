@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 
 namespace ssle::util {
@@ -78,10 +79,17 @@ class Rng {
     return static_cast<std::uint64_t>(m >> 64);
   }
 
-  /// Uniform draw from {lo, ..., hi} inclusive.
+  /// Uniform draw from {lo, ..., hi} inclusive.  Requires lo <= hi.
+  /// The span is computed in uint64, where wraparound is well defined, so
+  /// extreme ranges (e.g. the full int64 domain) are exact instead of UB.
   std::int64_t range(std::int64_t lo, std::int64_t hi) {
-    return lo + static_cast<std::int64_t>(
-                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+    assert(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means hi - lo + 1 wrapped: the full 2^64 domain.  Every
+    // 64-bit value is in range, so a raw draw is already uniform.
+    const std::uint64_t offset = span == 0 ? next() : below(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
   }
 
   /// Uniform real in [0, 1).

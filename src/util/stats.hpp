@@ -30,11 +30,18 @@ double percentile(std::span<const double> xs, double q);
 /// Two-sided 95% Student-t critical value for `dof` degrees of freedom.
 /// Exact table through 30 d.o.f., the normal z = 1.96 beyond — at the
 /// bench default of 5 trials (4 d.o.f.) the normal value would understate
-/// the interval by ~42%.
+/// the interval by ~42%.  dof == 0 (no residual degrees of freedom: the
+/// t distribution is undefined) returns 0.0 by contract, so callers that
+/// multiply by it report a zero-width interval rather than NaN/garbage.
 double t95_critical(std::size_t dof);
 
 /// Half-width of a ~95% confidence interval for the mean, using the
 /// Student-t critical value for the sample's degrees of freedom (count−1).
+/// Summaries with count <= 1 (empty sweeps, a single surviving trial) have
+/// no estimable dispersion; by contract they return a 0-width interval —
+/// never NaN — so sweep rows degrade to "mean ± 0.0" instead of breaking
+/// downstream JSON/tables.  Note the count−1 here would underflow size_t
+/// on count == 0; the guard makes that path unreachable.
 double ci95_halfwidth(const Summary& s);
 
 /// Least-squares fit of y ≈ c * f(x) through the origin; returns c.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -332,6 +333,54 @@ TEST(Hypergeometric, MeanAndVarianceMatchTheory) {
   const double var = sumsq / trials - mean * mean;
   EXPECT_NEAR(mean, expected_mean, 0.15);       // ±~5 sigma of the mean est.
   EXPECT_NEAR(var, expected_var, expected_var * 0.1);
+}
+
+TEST(Hypergeometric, TailRegimeChiSquareMatchesExactPmf) {
+  // Regression for the floating-point-residue fallback: huge `total`, tiny
+  // `successes` — the regime the leap engine's window splits stress.  The
+  // old fallback attributed leftover pmf mass to the *mode*; the fix sends
+  // it to the outermost unvisited support point on the heavier side.  The
+  // whole law over the 4-point support must match the exact pmf, computed
+  // via falling factorials: p(k) = C(3,k)·d^(k)·(N−d)^((3−k))/N^((3)).
+  util::Rng rng(29);
+  const std::uint64_t total = 10'000'000'000ull;
+  const std::uint64_t successes = 3;
+  const std::uint64_t draws = total / 2;
+  const int trials = 20000;
+  std::array<int, 4> observed{};
+  for (int i = 0; i < trials; ++i) {
+    const auto k = sample_hypergeometric(rng, total, successes, draws);
+    ASSERT_LE(k, successes);
+    ++observed[k];
+  }
+  const double N = static_cast<double>(total);
+  const double d = static_cast<double>(draws);
+  double chi2 = 0.0;
+  for (std::uint64_t k = 0; k <= successes; ++k) {
+    double pmf = 1.0;
+    for (std::uint64_t j = 0; j < k; ++j) {
+      pmf *= (d - static_cast<double>(j)) * static_cast<double>(successes - j) /
+             static_cast<double>(j + 1);
+    }
+    for (std::uint64_t j = 0; j < successes - k; ++j) {
+      pmf *= (N - d - static_cast<double>(j));
+    }
+    for (std::uint64_t j = 0; j < successes; ++j) {
+      pmf /= (N - static_cast<double>(j));
+    }
+    const double expect = pmf * trials;
+    chi2 += (observed[k] - expect) * (observed[k] - expect) / expect;
+  }
+  // 3 d.o.f.: P(χ² > 16.3) ≈ 0.001; fixed seed, so deterministic.
+  EXPECT_LT(chi2, 16.3);
+}
+
+TEST(Hypergeometric, TailRegimeStaysOnSupport) {
+  util::Rng rng(31);
+  const std::uint64_t total = 10'000'000'000ull;
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(sample_hypergeometric(rng, total, 3, total / 3), 3u);
+  }
 }
 
 TEST(Hypergeometric, MultivariateDrawsPartitionTheSample) {

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 #include <set>
 
 namespace ssle::util {
@@ -46,6 +47,55 @@ TEST(Rng, RangeInclusive) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(Rng, RangeAtInt64Extremes) {
+  // Regression: `hi - lo + 1` used to be computed in *signed* arithmetic —
+  // UB/wrap whenever the span overflows int64.  The span is now widened
+  // through uint64 (where wrap is defined and correct).
+  Rng rng(21);
+  // Degenerate single-point range.
+  EXPECT_EQ(rng.range(5, 5), 5);
+  EXPECT_EQ(rng.range(std::numeric_limits<std::int64_t>::min(),
+                      std::numeric_limits<std::int64_t>::min()),
+            std::numeric_limits<std::int64_t>::min());
+  // Tight window at the top of the domain.
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(std::numeric_limits<std::int64_t>::max() - 3,
+                             std::numeric_limits<std::int64_t>::max());
+    EXPECT_GE(v, std::numeric_limits<std::int64_t>::max() - 3);
+  }
+  // Span larger than int64 can hold (lo < 0 < hi, width ≈ 1.5 · 2^63):
+  // the old signed subtraction overflowed here.
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min() / 4 * 3;
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max() / 4 * 3;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+  // Full int64 domain: span wraps to 0 in uint64, meaning "every value".
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(std::numeric_limits<std::int64_t>::min(),
+                             std::numeric_limits<std::int64_t>::max());
+    saw_negative |= v < 0;
+    saw_positive |= v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Rng, RangeExtremesStayUniformish) {
+  // A wide two-bucket sanity check on an overflowing span: halves of the
+  // range should be hit roughly equally.
+  Rng rng(23);
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min() + 2;
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max() - 2;
+  int below_zero = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) below_zero += rng.range(lo, hi) < 0;
+  EXPECT_NEAR(static_cast<double>(below_zero) / draws, 0.5, 0.02);
 }
 
 TEST(Rng, BelowIsApproximatelyUniform) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace ssle::util {
@@ -59,6 +60,30 @@ TEST(Ci95, ShrinksWithSampleSize) {
   Summary one;
   one.count = 1;
   EXPECT_EQ(ci95_halfwidth(one), 0.0);
+}
+
+TEST(Ci95, DegenerateSummariesYieldZeroWidthNeverNaN) {
+  // Contract (stats.hpp): count <= 1 — an empty sweep or a single
+  // surviving trial — has no estimable dispersion and must report a
+  // 0-width interval, never NaN (count−1 would underflow size_t on an
+  // empty summary if the guard slipped).
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(ci95_halfwidth(empty), 0.0);
+  EXPECT_FALSE(std::isnan(ci95_halfwidth(empty)));
+
+  const std::vector<double> one_trial{17.25};
+  const Summary single = summarize(one_trial);
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_EQ(ci95_halfwidth(single), 0.0);
+  EXPECT_FALSE(std::isnan(ci95_halfwidth(single)));
+
+  // Adversarial hand-built summary: count 1 with garbage stddev must
+  // still be clamped by the count guard, not multiplied through.
+  Summary weird;
+  weird.count = 1;
+  weird.stddev = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ci95_halfwidth(weird), 0.0);
 }
 
 TEST(Ci95, T95CriticalMatchesTheStudentTTable) {
