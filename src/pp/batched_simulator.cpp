@@ -63,9 +63,12 @@ std::uint64_t sample_hypergeometric(util::Rng& rng, std::uint64_t total,
   // returning the mode here would transfer tail mass to the distribution's
   // peak, a bias that extreme-tail regimes (huge `total`, tiny `successes`,
   // exactly what the leap engine stresses) turn into a measurable skew.
-  // Attribute the residue to the outermost support point on the heavier
-  // side instead: both ends have been fully visited (k_up == hi,
-  // k_down == lo), and p_up / p_down hold the last computed tail pmfs.
+  // Attribute the residue to the outermost *visited* support point on the
+  // heavier side instead: both ends have been walked (k_up == hi,
+  // k_down == lo) and their pmf already subtracted from u, so this
+  // overweights that endpoint by O(double epsilon) — but the extra mass
+  // stays in the tail where the residue belongs.  p_up / p_down hold the
+  // last computed tail pmfs.
   return p_up >= p_down ? hi : lo;
 }
 

@@ -53,7 +53,8 @@ std::uint64_t sample_binomial(util::Rng& rng, std::uint64_t trials,
     // the binomial support runs to `trials`: once both running pmfs have
     // decayed to zero the remaining mass is below double resolution and
     // walking further is pure waste — attribute the residue to the heavier
-    // outermost visited point (tail policy, as in sample_hypergeometric).
+    // outermost *visited* point, an O(double-epsilon) overweight of that
+    // endpoint (same tail policy as sample_hypergeometric).
     if (p_up < 1e-300 && p_down < 1e-300) break;
   }
   return p_up >= p_down ? k_up : k_down;

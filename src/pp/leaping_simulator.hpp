@@ -44,10 +44,16 @@
 //     no log, no division;
 //   * m is sized so E[C] ≈ 2·cap/3; in the astronomically rare event
 //     C > cap (the envelope's event bound could be breached) the window is
-//     *split* exactly: candidates distribute over the halves
-//     hypergeometrically (slots are exchangeable), the envelope is
-//     recomputed at the half boundary, and the halves recurse — the
-//     trajectory law is exact, not approximate, on every path.
+//     *split* exactly.  Candidates distribute over the halves
+//     hypergeometrically (slots are exchangeable) and the first half
+//     recurses under the same envelope; the second half KEEPS its share
+//     of the candidates — the split was entered *because* the window came
+//     out candidate-rich, and that conditioning must be carried, not
+//     redrawn — and when the envelope recomputed at the half boundary
+//     rises above the old one, the still-unresolved slots are promoted to
+//     candidates on the new level band [W̄, W̄₂) with their exact
+//     conditional probability (split_piece below) — the trajectory law
+//     is exact, not approximate, on every path.
 //
 // Banded batch (the n = 10^10 enabler).  When every active pair type has
 // the *same net count delta* (the epidemic: both orders of (I, S) are net
@@ -104,7 +110,9 @@
 // semantics, counts-predicates).  Unlike the batched engine it never
 // compacts the registry: the closure pre-registers the protocol's entire
 // reachable class set (bounded by the narrow-registry contract), and those
-// ids must stay stable because the pair-type table is keyed on them.
+// ids must stay stable because the pair-type table is keyed on them — a
+// config().compact() between steps is detected (interner version counter)
+// and aborts rather than running on stale ids.
 #pragma once
 
 #include <algorithm>
@@ -127,8 +135,9 @@ namespace ssle::pp {
 
 /// Exact binomial draw B(trials, p) by mode-centered inverse transform in
 /// log space (pmf recurrence outward from the mode, expected O(σ) visited
-/// support points).  Floating-point residue is attributed to the heavier
-/// outermost unvisited support point — the same tail policy as
+/// support points).  Floating-point residue is attributed to the outermost
+/// *visited* support point on the heavier side — an O(double-epsilon)
+/// overweight of that endpoint; the same tail policy as
 /// sample_hypergeometric, and for the same reason: the uncovered sliver
 /// lives in the tails, not at the mode.
 std::uint64_t sample_binomial(util::Rng& rng, std::uint64_t trials, double p);
@@ -266,7 +275,21 @@ class LeapingSimulator {
   /// between steps) only evaluate the new rows/columns.
   void ensure_table() {
     std::uint32_t q = config_.num_states();
-    if (table_built_ && q == table_q_) return;
+    if (table_built_) {
+      // The table is keyed on class ids (header contract: this engine
+      // never compacts, and the caller must not either).  A compact()
+      // between steps reclaims ids — active_ would hold stale classes
+      // and touch_ could be indexed out of bounds.  Fail loudly, like
+      // the kMaxClasses check, instead of corrupting the trajectory.
+      if (config_.interner().version() != table_version_ || q < table_q_) {
+        std::fprintf(stderr,
+                     "LeapingSimulator: registry ids changed after closure "
+                     "(config().compact() between steps?) — the pair-type "
+                     "table is keyed on stable ids and is now invalid.\n");
+        std::abort();
+      }
+      if (q == table_q_) return;
+    }
     std::uint32_t done = table_built_ ? table_q_ : 0;
     while (done < q) {
       for (std::uint32_t i = 0; i < q; ++i) {
@@ -289,6 +312,7 @@ class LeapingSimulator {
       }
     }
     table_q_ = q;
+    table_version_ = config_.interner().version();
     table_built_ = true;
     touch_.assign(table_q_, {});
     for (std::uint32_t t = 0; t < active_.size(); ++t) {
@@ -453,28 +477,120 @@ class LeapingSimulator {
     return m;
   }
 
+  // Every slot carries a latent level V ~ U[0, W_tot): the slot is an
+  // event iff V < W_act at that slot.  The window machinery only ever
+  // *reveals* information about the V's — a piece's knowledge is a slot
+  // count m, a resolved `level` L, and a set of bands: `count` slots with
+  // V uniform on [lo, hi), all other slots known to have V ≥ L.  A piece
+  // is processable directly when its total candidate count is ≤ cap
+  // (then ≤ cap events occur, L ≥ W_act throughout by the level
+  // invariant, and every non-band slot is a sure non-event); otherwise
+  // it splits.
+
+  /// One thinning band: `count` candidate slots whose latent levels are
+  /// iid uniform on [lo, hi).
+  struct Band {
+    std::uint64_t count;
+    double lo, hi;
+  };
+
   /// Processes a window piece of `m` slots containing `c` candidates under
-  /// envelope `wbar` (computed at this piece's start state).  When
-  /// c ≤ event_cap_ the envelope is valid for the whole piece and the
-  /// candidates run directly; otherwise the piece is split exactly —
-  /// candidates distribute hypergeometrically over the halves (slots are
-  /// exchangeable) and the envelope is recomputed at the half boundary.
+  /// envelope `wbar` (computed, with slack 2·cap, at this piece's start
+  /// state).  When c ≤ event_cap_ the envelope is valid for the whole
+  /// piece and the candidates run directly; otherwise the piece is split
+  /// exactly (split_piece).
   void run_piece(std::uint64_t m, std::uint64_t c, double wbar) {
     if (c > event_cap_) {
-      ++splits_;
-      const std::uint64_t m1 = m / 2;  // c > cap ≥ 1 forces m ≥ 2
-      const std::uint64_t c1 = sample_hypergeometric(rng_, m, c, m1);
-      run_piece(m1, c1, wbar);
-      refresh_weights();
-      const double wbar2 =
-          std::min(active_weight_bound(2.0 * event_cap_), w_total_);
-      run_piece(m - m1, c - c1, wbar2);
+      split_piece(m, wbar, {Band{c, 0.0, wbar}});
       return;
     }
     candidates_ += c;
     if (c > 0 && uniform_net_ && run_piece_banded(c, wbar)) return;
     for (std::uint64_t k = 0; k < c; ++k) {
       const double u = rng_.real() * wbar;
+      if (u < w_active_) apply_event(u);
+    }
+  }
+
+  /// Exact split of an over-cap piece.  The branch condition (> cap
+  /// candidates) is *information about this window's overlay*, so the
+  /// candidates cannot be discarded and redrawn — conditional on the
+  /// split, the window really is candidate-rich, and a fresh redraw would
+  /// under-rate events (just as the pre-fix variant, which kept the counts
+  /// but accepted them against the recomputed envelope, under-rated by
+  /// W̄/W̄₂ per slot).  Instead the overlay is carried through exactly:
+  ///
+  ///   * each band's candidates distribute over the halves
+  ///     hypergeometrically, bands drawn in creation order (band i is a
+  ///     uniform subset of the slots not holding bands < i);
+  ///   * the first half recurses with the inherited level — it starts at
+  ///     the same state, so the level invariant (level ≥ W_act within
+  ///     cap events of the piece start) still holds;
+  ///   * at the half boundary the envelope is recomputed; if it *rose*
+  ///     above the resolved level, each unresolved second-half slot
+  ///     (V ≥ level) is promoted to a candidate with the exact
+  ///     conditional probability (W̄₂ − L)/(W_tot − L), forming a new
+  ///     band on [L, W̄₂) — these are the slots the first-half events
+  ///     made newly eligible, the mass the stale-envelope bug dropped.
+  void split_piece(std::uint64_t m, double level, std::vector<Band> bands) {
+    ++splits_;
+    const std::uint64_t m1 = m / 2;  // total > cap ≥ 1 forces m ≥ 2
+    const std::uint64_t m2 = m - m1;
+    std::vector<Band> b1, b2;
+    std::uint64_t rem_total = m;
+    std::uint64_t rem_h1 = m1;
+    std::uint64_t known2 = 0;
+    for (const Band& b : bands) {
+      const std::uint64_t in1 =
+          sample_hypergeometric(rng_, rem_total, b.count, rem_h1);
+      if (in1 > 0) b1.push_back(Band{in1, b.lo, b.hi});
+      if (b.count > in1) {
+        b2.push_back(Band{b.count - in1, b.lo, b.hi});
+        known2 += b.count - in1;
+      }
+      rem_total -= b.count;
+      rem_h1 -= in1;
+    }
+    run_bands(m1, level, std::move(b1));
+    refresh_weights();
+    double level2 = level;
+    const double wbar2 =
+        std::min(active_weight_bound(2.0 * event_cap_), w_total_);
+    if (wbar2 > level) {
+      // level < wbar2 ≤ W_tot, so the conditional below is well defined.
+      const std::uint64_t extra = sample_binomial(
+          rng_, m2 - known2, (wbar2 - level) / (w_total_ - level));
+      if (extra > 0) b2.push_back(Band{extra, level, wbar2});
+      level2 = wbar2;
+    }
+    run_bands(m2, level2, std::move(b2));
+  }
+
+  /// Processes a piece described by bands.  Splits again while over cap;
+  /// a single zero-based band with a matching level is the common window
+  /// shape and takes run_piece's fast paths; the general case resolves
+  /// candidates in exchangeable order (band chosen by remaining counts,
+  /// without replacement) with each level drawn uniformly in its band.
+  void run_bands(std::uint64_t m, double level, std::vector<Band> bands) {
+    std::uint64_t total = 0;
+    for (const Band& b : bands) total += b.count;
+    if (total > event_cap_) {
+      split_piece(m, level, std::move(bands));
+      return;
+    }
+    if (bands.size() == 1 && bands[0].lo == 0.0 && bands[0].hi == level) {
+      run_piece(m, total, level);
+      return;
+    }
+    candidates_ += total;
+    while (total > 0) {
+      std::uint64_t pick = rng_.below(total);
+      std::size_t i = 0;
+      while (pick >= bands[i].count) pick -= bands[i].count, ++i;
+      --bands[i].count;
+      --total;
+      const double u =
+          bands[i].lo + rng_.real() * (bands[i].hi - bands[i].lo);
       if (u < w_active_) apply_event(u);
     }
   }
@@ -599,6 +715,7 @@ class LeapingSimulator {
 
   bool table_built_ = false;
   std::uint32_t table_q_ = 0;            ///< registry extent at closure
+  std::uint64_t table_version_ = 0;      ///< interner version at closure
   std::vector<PairType> active_;         ///< active (count-changing) types
   std::vector<std::vector<std::uint32_t>> touch_;  ///< class → active idxs
   std::vector<std::uint64_t> cnt_;       ///< detached id → count

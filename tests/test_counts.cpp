@@ -339,7 +339,7 @@ TEST(Hypergeometric, TailRegimeChiSquareMatchesExactPmf) {
   // Regression for the floating-point-residue fallback: huge `total`, tiny
   // `successes` — the regime the leap engine's window splits stress.  The
   // old fallback attributed leftover pmf mass to the *mode*; the fix sends
-  // it to the outermost unvisited support point on the heavier side.  The
+  // it to the outermost visited support point on the heavier side.  The
   // whole law over the 4-point support must match the exact pmf, computed
   // via falling factorials: p(k) = C(3,k)·d^(k)·(N−d)^((3−k))/N^((3)).
   util::Rng rng(29);
