@@ -15,6 +15,11 @@
 //   --budget=<interactions>  override the per-trial budget (0 = auto)
 //   --mult=faithful|light    message multiplicity; faithful's Θ(m²)
 //                            messages per rank are prohibitive at large n
+//   --topology=complete|ring|islands:K[:intra:inter]|multipartite:K
+//                            interaction topology (Engine × Topology
+//                            dispatch in analysis::stabilize: blocked
+//                            topologies run the lumped community engine
+//                            on --engine=batched; ring is naive-only)
 #include <iostream>
 
 #include "analysis/experiment.hpp"
@@ -40,6 +45,8 @@ int main(int argc, char** argv) {
   const auto class_filter = cli.get_string("class", "");
   const auto mult = analysis::multiplicity_from_string(
       cli.get_string("mult", "faithful"));
+  const auto topology = analysis::topology_from_string(
+      cli.get_string("topology", "complete"));
 
   analysis::print_banner(
       "F3 (Lemma 6.3 recovery)",
@@ -77,7 +84,8 @@ int main(int argc, char** argv) {
     const auto result =
         analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
           const auto run = analysis::stabilize(engine, start, params,
-                                               corruption, s, budget);
+                                               corruption, s, budget,
+                                               topology);
           return run.converged ? static_cast<double>(run.interactions) : -1.0;
         }, jobs);
     table.add_row({start == analysis::StartKind::kClean
@@ -95,6 +103,7 @@ int main(int argc, char** argv) {
             << "  engine=" << analysis::engine_name(engine)
             << " start=" << analysis::start_name(start)
             << " mult=" << analysis::multiplicity_name(mult)
+            << " topology=" << analysis::topology_name(topology)
             << "  (budget per trial: " << budget << " interactions)\n";
   return 0;
 }

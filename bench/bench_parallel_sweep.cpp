@@ -48,11 +48,23 @@
 //       ceiling) where the banded batch path resolves whole windows in
 //       O(1) draws and the sweep completes in about a second.
 //
+//   [7] Community lumping — the PR-7 law gate.  The Lemma A.2 epidemic on
+//       a blocked islands topology, twice: the naive agent-array engine
+//       under pp::BlockedScheduler and the lumped (community, state)
+//       engine (pp::CommunityCountsConfiguration under the batched
+//       simulator).  Exact probes (probe_every = 1) at n = --ncomm, so the
+//       two empirical means estimate the same hitting-time law and must
+//       agree within the CI band — a statistical twin of the tiny-n TV
+//       tests, run at a scale where a pair-weight bug cannot hide either.
+//       Law only: the engines have disjoint feasibility ranges (§3 of
+//       bench_e1_graphical is the wall-clock story), so --gate-perf gates
+//       the law band, not the wall clock.
+//
 //   --n=64 --trials=8 --seed=7 --jobs=0 (0 = all cores)
 //   --ncross=1024 --cross-trials=1 --nbig=1000000
 //   --nfen=100000 --fen-interactions=1000000
 //   --nmem=100000 --mem-interactions=300000
-//   --nleap=10000000000 --json=<path> --gate-perf
+//   --nleap=10000000000 --ncomm=2000 --json=<path> --gate-perf
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -125,12 +137,13 @@ int main(int argc, char** argv) {
   const auto mem_interactions = cli.get_count("mem-interactions", 300000);
   const auto nleap =
       static_cast<std::uint64_t>(cli.get_count("nleap", 10000000000ull));
+  const auto ncomm = cli.get_count_u32("ncomm", 2000);
   const auto json_path = cli.get_string("json", "");
   const bool gate_perf = cli.has("gate-perf");
 
   auto doc = util::Json::object();
   doc.set("bench", "parallel_sweep");
-  doc.set("pr", 6);
+  doc.set("pr", 7);
 
   analysis::print_banner(
       "PS (parallel sweep runner)",
@@ -598,6 +611,79 @@ int main(int argc, char** argv) {
     doc.set("leap_engine", std::move(s6));
   }
 
+  // [7] Community lumping: the naive agent-array engine under
+  // BlockedScheduler vs the lumped (community, state) engine, same islands
+  // topology, same epidemic, exact probes.  Both estimate the same
+  // hitting-time law (tests/test_community_counts.cpp pins the exact laws
+  // at tiny n by total variation); here the means must agree within the
+  // combined CI band at a scale where constants matter.
+  bool comm_gate_ok = true;
+  {
+    const auto topology = analysis::topology_from_string("islands:4:1.0:0.1");
+    const auto epi_on = [&](analysis::Engine engine, std::uint64_t s) {
+      const auto r = analysis::epidemic_convergence(engine, ncomm, s, 0,
+                                                    /*probe_every=*/1,
+                                                    topology);
+      return r.converged ? static_cast<double>(r.interactions) : -1.0;
+    };
+    t0 = Clock::now();
+    const auto naive_res = analysis::parallel_sweep(
+        seed + 7000, trials,
+        [&](std::uint64_t s) { return epi_on(analysis::Engine::kNaive, s); },
+        jobs);
+    const double naive_wall = seconds_since(t0);
+    t0 = Clock::now();
+    const auto lumped_res = analysis::parallel_sweep(
+        seed + 7500, trials,
+        [&](std::uint64_t s) { return epi_on(analysis::Engine::kBatched, s); },
+        jobs);
+    const double lumped_wall = seconds_since(t0);
+
+    const double naive_ci = util::ci95_halfwidth(naive_res.summary);
+    const double lumped_ci = util::ci95_halfwidth(lumped_res.summary);
+    const double band =
+        3.0 * std::sqrt(naive_ci * naive_ci + lumped_ci * lumped_ci);
+    const double gap =
+        std::abs(naive_res.summary.mean - lumped_res.summary.mean);
+    comm_gate_ok = naive_res.failures == 0 && lumped_res.failures == 0 &&
+                   gap <= band;
+
+    util::Table t7({"engine", "n", "epidemic(mean)", "ci95", "fails",
+                    "wall_s"});
+    t7.add_row({"naive (BlockedScheduler)", util::fmt_int(ncomm),
+                util::fmt(naive_res.summary.mean, 0),
+                util::fmt(naive_ci, 0),
+                util::fmt_int(static_cast<long long>(naive_res.failures)),
+                util::fmt(naive_wall, 2)});
+    t7.add_row({"batched (lumped)", util::fmt_int(ncomm),
+                util::fmt(lumped_res.summary.mean, 0),
+                util::fmt(lumped_ci, 0),
+                util::fmt_int(static_cast<long long>(lumped_res.failures)),
+                util::fmt(lumped_wall, 2)});
+    std::cout << "\n[7] Community lumping law parity (epidemic on "
+                 "islands:4:1.0:0.1, "
+              << trials << " trials at n=" << ncomm << ", exact probes):\n";
+    t7.print(std::cout);
+    t7.print_csv(std::cout);
+    std::cout << "naive-vs-lumped law gate: "
+              << (comm_gate_ok ? "PASS" : "FAIL") << " (|Δmean| "
+              << util::fmt(gap, 0) << " vs band " << util::fmt(band, 0)
+              << ")\n";
+
+    auto s7 = util::Json::object();
+    s7.set("n", static_cast<std::uint64_t>(ncomm));
+    s7.set("topology", "islands:4:1.0:0.1");
+    s7.set("naive_mean_interactions", naive_res.summary.mean);
+    s7.set("lumped_mean_interactions", lumped_res.summary.mean);
+    s7.set("naive_failures", static_cast<std::uint64_t>(naive_res.failures));
+    s7.set("lumped_failures",
+           static_cast<std::uint64_t>(lumped_res.failures));
+    s7.set("naive_wall_s", naive_wall);
+    s7.set("lumped_wall_s", lumped_wall);
+    s7.set("law_gate_ok", comm_gate_ok);
+    doc.set("community_lumping", std::move(s7));
+  }
+
   if (!json_path.empty()) {
     util::write_json_file(json_path, doc);
     std::cout << "\nstructured results written to " << json_path << "\n";
@@ -605,7 +691,10 @@ int main(int argc, char** argv) {
 
   // The determinism check is this binary's reason to exist — fail loudly
   // (CI runs it on every push).  --gate-perf additionally fails the run
-  // when the memoized engine regresses on the epidemic workload or the
-  // leap engine loses law or wall-clock parity with the batched engine.
-  return (ok && (!gate_perf || (gate_ok && leap_gate_ok))) ? 0 : 1;
+  // when the memoized engine regresses on the epidemic workload, the leap
+  // engine loses law or wall-clock parity with the batched engine, or the
+  // lumped community engine drifts from the naive blocked-scheduler law.
+  return (ok && (!gate_perf || (gate_ok && leap_gate_ok && comm_gate_ok)))
+             ? 0
+             : 1;
 }

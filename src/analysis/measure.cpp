@@ -9,7 +9,9 @@
 #include "core/derandomized.hpp"
 #include "core/safety.hpp"
 #include "pp/batched_simulator.hpp"
+#include "pp/community_counts.hpp"
 #include "pp/epidemic.hpp"
+#include "pp/graph.hpp"
 #include "pp/leaping_simulator.hpp"
 #include "pp/simulator.hpp"
 
@@ -131,6 +133,149 @@ StabilizationResult stabilize(Engine engine, const core::Params& params,
 
 namespace {
 
+/// Naive-engine stabilization under an explicit scheduler (BlockedScheduler
+/// for blocked topologies, GraphScheduler for the ring) — the agent-array
+/// twin of stabilize_from.
+template <typename Sched>
+StabilizationResult stabilize_population(const core::Params& params,
+                                         std::vector<core::Agent> config,
+                                         Sched scheduler, std::uint64_t seed,
+                                         std::uint64_t max_interactions) {
+  core::ElectLeader protocol(params);
+  pp::Population<core::ElectLeader> population(std::move(config));
+  pp::Simulator<core::ElectLeader, Sched> sim(
+      protocol, std::move(population), std::move(scheduler), seed);
+
+  const auto probe = [&](const pp::Population<core::ElectLeader>& pop,
+                         std::uint64_t) {
+    return core::is_safe_configuration(params, pop.states());
+  };
+  const auto run = sim.run_until(probe, max_interactions,
+                                 /*probe_every=*/params.n);
+
+  StabilizationResult res;
+  res.converged = run.converged;
+  res.interactions = run.interactions;
+  res.parallel_time = run.parallel_time(params.n);
+  res.leaders = core::leader_count(sim.population().states());
+  return res;
+}
+
+/// Lumped-engine stabilization on a blocked topology: the batched engine's
+/// community path over (community, state) counts.  The safe predicate is a
+/// property of the state *multiset* (leader uniqueness, verifier roles,
+/// message-system consistency — none of it community-dependent), so the
+/// probe expands the marginal counts to an agent array and reuses the
+/// canonical core::is_safe_configuration, exactly like the naive probe.
+StabilizationResult stabilize_community_from(
+    const core::Params& params,
+    pp::CommunityCountsConfiguration<core::ElectLeader> config,
+    std::uint64_t seed, std::uint64_t max_interactions) {
+  core::ElectLeader protocol(params);
+  pp::BatchedSimulator<core::ElectLeader,
+                       pp::CommunityCountsConfiguration<core::ElectLeader>>
+      sim(protocol, std::move(config), seed);
+
+  std::vector<core::Agent> agents;
+  const auto probe =
+      [&](const pp::CommunityCountsConfiguration<core::ElectLeader>& c,
+          std::uint64_t) {
+        agents.clear();
+        agents.reserve(params.n);
+        c.for_each([&](const core::Agent& s, std::uint64_t cnt) {
+          for (std::uint64_t i = 0; i < cnt; ++i) agents.push_back(s);
+        });
+        return core::is_safe_configuration(params, agents);
+      };
+  const auto run = sim.run_until(probe, max_interactions,
+                                 /*probe_every=*/params.n);
+
+  StabilizationResult res;
+  res.converged = run.converged;
+  res.interactions = run.interactions;
+  res.parallel_time = run.parallel_time(params.n);
+  res.leaders = static_cast<std::uint32_t>(
+      sim.config().count_if(core::ElectLeader::is_leader));
+  return res;
+}
+
+/// Engine routing for a topology request: the ring has no community
+/// lumping (each agent's neighborhood is private to it), so the counts
+/// engines reroute to naive with a loud note — the runtime analogue of the
+/// old compile-time static_assert, but survivable.
+Engine route_topology_engine(Engine engine, const Topology& topology) {
+  if (topology.kind == Topology::Kind::kRing && engine != Engine::kNaive) {
+    std::fprintf(stderr,
+                 "note: topology '%s' has no lumped configuration; routing "
+                 "--engine=%s to the naive agent-array engine\n",
+                 topology_name(topology), engine_name(engine));
+    return Engine::kNaive;
+  }
+  return engine;
+}
+
+/// The hard S1 error: an engine/topology/size combination NO engine can
+/// run.  Always names the topology.
+[[noreturn]] void no_engine_for_topology(const Topology& topology,
+                                         std::uint64_t n, const char* why) {
+  std::fprintf(stderr,
+               "error: no engine supports topology '%s' at n=%llu: %s\n",
+               topology_name(topology), static_cast<unsigned long long>(n),
+               why);
+  std::exit(2);
+}
+
+}  // namespace
+
+StabilizationResult stabilize(Engine engine, StartKind start,
+                              const core::Params& params,
+                              core::Corruption corruption, std::uint64_t seed,
+                              std::uint64_t max_interactions,
+                              const Topology& topology) {
+  if (topology.kind == Topology::Kind::kComplete) {
+    // The classical model: the uniform paths, byte-for-byte.
+    return stabilize(engine, start, params, corruption, seed,
+                     max_interactions);
+  }
+  engine = route_topology_engine(engine, topology);
+
+  // Both engines start from the same agent array with the same layout
+  // (agent i in community_of_agent(i)), drawn from the same stream as the
+  // complete-topology paths, so runs differ only in the scheduling law.
+  std::vector<core::Agent> config;
+  if (start == StartKind::kClean) {
+    config = clean_config(params);
+  } else {
+    util::Rng rng(util::substream(seed, 77));
+    config = core::make_adversarial_config(params, corruption, rng);
+  }
+
+  if (topology.kind == Topology::Kind::kRing) {
+    return stabilize_population(
+        params, std::move(config),
+        pp::GraphScheduler(pp::Graph::cycle(params.n),
+                           util::substream(seed, 1)),
+        seed, max_interactions);
+  }
+
+  pp::BlockedTopology blocked = blocked_topology(topology, params.n);
+  if (engine == Engine::kNaive) {
+    return stabilize_population(
+        params, std::move(config),
+        pp::BlockedScheduler(std::move(blocked), util::substream(seed, 1)),
+        seed, max_interactions);
+  }
+  // kBatched and kLeaping: the lumped community engine (leaping has no
+  // community leap path; same nearest-exact-engine routing as for
+  // ineligible protocols).
+  pp::CommunityCountsConfiguration<core::ElectLeader> counts(
+      config, std::move(blocked));
+  return stabilize_community_from(params, std::move(counts), seed,
+                                  max_interactions);
+}
+
+namespace {
+
 /// Safety probe for the derandomized protocol's counts projection: the
 /// multiset-checkable parts run first (every agent a verifier; in a safe
 /// configuration all ranks — hence all agents — are distinct, so every
@@ -245,6 +390,115 @@ const char* start_name(StartKind start) {
   return start == StartKind::kClean ? "clean" : "adversarial";
 }
 
+Topology topology_from_string(const std::string& spec) {
+  Topology t;
+  t.spec = spec;
+  if (spec == "complete") {
+    t.kind = Topology::Kind::kComplete;
+    return t;
+  }
+  if (spec == "ring") {
+    t.kind = Topology::Kind::kRing;
+    return t;
+  }
+  unsigned k = 0;
+  double intra = 1.0;
+  double inter = 0.05;
+  char tail = 0;
+  // Longest form first; the %c sentinel rejects trailing garbage (a typo'd
+  // spec must not silently run a different topology).
+  if (std::sscanf(spec.c_str(), "islands:%u:%lf:%lf%c", &k, &intra, &inter,
+                  &tail) == 3) {
+    t.kind = Topology::Kind::kIslands;
+  } else if (std::sscanf(spec.c_str(), "islands:%u%c", &k, &tail) == 1) {
+    t.kind = Topology::Kind::kIslands;
+    intra = 1.0;
+    inter = 0.05;
+  } else if (std::sscanf(spec.c_str(), "multipartite:%u%c", &k, &tail) == 1) {
+    t.kind = Topology::Kind::kMultipartite;
+    intra = 0.0;
+    inter = 1.0;
+  } else {
+    std::fprintf(stderr,
+                 "error: --topology=%s is not a valid topology "
+                 "(complete|ring|islands:K|islands:K:intra:inter|"
+                 "multipartite:K)\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  t.communities = k;
+  t.intra = intra;
+  t.inter = inter;
+  if (k == 0) {
+    std::fprintf(stderr, "error: --topology=%s: K must be >= 1\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  if (t.kind == Topology::Kind::kMultipartite && k < 2) {
+    std::fprintf(stderr,
+                 "error: --topology=%s: a complete multipartite graph needs "
+                 "K >= 2 blocks (K=1 has no edges)\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  if (intra < 0.0 || inter < 0.0) {
+    std::fprintf(stderr, "error: --topology=%s: edge weights must be >= 0\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  if (t.kind == Topology::Kind::kIslands && k > 1 && inter <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --topology=%s: K > 1 islands with inter weight 0 "
+                 "are disconnected\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  if (t.kind == Topology::Kind::kIslands && k == 1 && intra <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --topology=%s: a single island with intra weight 0 "
+                 "has no edges\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  return t;
+}
+
+const char* topology_name(const Topology& topology) {
+  return topology.spec.c_str();
+}
+
+bool topology_is_lumpable(const Topology& topology) {
+  switch (topology.kind) {
+    case Topology::Kind::kComplete:
+    case Topology::Kind::kIslands:
+    case Topology::Kind::kMultipartite:
+      return true;
+    case Topology::Kind::kRing:
+      return false;
+  }
+  return false;
+}
+
+pp::BlockedTopology blocked_topology(const Topology& topology,
+                                     std::uint64_t n) {
+  switch (topology.kind) {
+    case Topology::Kind::kComplete:
+      return pp::BlockedTopology::complete(n);
+    case Topology::Kind::kIslands:
+      return pp::BlockedTopology::islands(n, topology.communities,
+                                          topology.intra, topology.inter);
+    case Topology::Kind::kMultipartite:
+      return pp::BlockedTopology::multipartite(n, topology.communities);
+    case Topology::Kind::kRing:
+      break;
+  }
+  std::fprintf(stderr,
+               "error: topology '%s' is not blocked — it has no lumped "
+               "(community, state) configuration\n",
+               topology_name(topology));
+  std::exit(2);
+}
+
 namespace {
 
 std::uint64_t epidemic_budget(std::uint64_t n) {
@@ -309,6 +563,93 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
     }
   }
   return {0, false};
+}
+
+pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
+                                   std::uint64_t seed,
+                                   std::uint64_t max_interactions,
+                                   std::uint64_t probe_every,
+                                   const Topology& topology) {
+  if (topology.kind == Topology::Kind::kComplete) {
+    return epidemic_convergence(engine, n, seed, max_interactions,
+                                probe_every);
+  }
+  if (n < 2) return {0, true};
+  engine = route_topology_engine(engine, topology);
+  const pp::Epidemic protocol{
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(n, 0xffffffffull))};
+
+  if (topology.kind == Topology::Kind::kRing) {
+    if (n > 0xffffffffull) {
+      no_engine_for_topology(topology, n,
+                             "the ring has no lumped configuration and the "
+                             "naive engine materializes n agents (uint32 "
+                             "limit)");
+    }
+    if (max_interactions == 0) {
+      // The cycle spreads by boundary contact: Θ(n²) interactions.
+      const long double b = 16.0L * static_cast<long double>(n) *
+                            static_cast<long double>(n);
+      max_interactions = b > 1.8e19L ? ~std::uint64_t{0}
+                                     : static_cast<std::uint64_t>(b);
+    }
+    pp::Simulator<pp::Epidemic, pp::GraphScheduler> sim(
+        protocol, pp::Population<pp::Epidemic>(protocol),
+        pp::GraphScheduler(pp::Graph::cycle(static_cast<std::uint32_t>(n)),
+                           util::substream(seed, 1)),
+        seed);
+    return sim.run_until(
+        [](const pp::Population<pp::Epidemic>& pop, std::uint64_t) {
+          for (std::uint32_t i = 0; i < pop.size(); ++i) {
+            if (pop[i] == 0) return false;
+          }
+          return true;
+        },
+        max_interactions, probe_every);
+  }
+
+  // Blocked topology.  The default budget is 8× the complete-graph bound:
+  // spreading must cross the (possibly low-weight) inter-community cut,
+  // but each crossing is a one-time event against a Θ(n log n) backbone.
+  if (max_interactions == 0) max_interactions = 8 * epidemic_budget(n);
+  pp::BlockedTopology blocked = blocked_topology(topology, n);
+  const auto all_infected = [](const auto& config, std::uint64_t) {
+    return config.count_of(0) == 0;
+  };
+  if (engine == Engine::kNaive) {
+    if (n > 0xffffffffull) {
+      no_engine_for_topology(topology, n,
+                             "the naive engine materializes n agents "
+                             "(uint32 limit); use --engine=batched — the "
+                             "lumped (community, state) engine holds O(K·q) "
+                             "counters");
+    }
+    pp::Simulator<pp::Epidemic, pp::BlockedScheduler> sim(
+        protocol, pp::Population<pp::Epidemic>(protocol),
+        pp::BlockedScheduler(std::move(blocked), util::substream(seed, 1)),
+        seed);
+    return sim.run_until(
+        [](const pp::Population<pp::Epidemic>& pop, std::uint64_t) {
+          for (std::uint32_t i = 0; i < pop.size(); ++i) {
+            if (pop[i] == 0) return false;
+          }
+          return true;
+        },
+        max_interactions, probe_every);
+  }
+  // kBatched / kLeaping: the lumped engine.  The configuration is built in
+  // O(K) — {1 infected in community 0 (agent 0 lives there), the rest
+  // susceptible} — never an O(n) agent loop.
+  pp::CommunityCountsConfiguration<pp::Epidemic> counts(blocked);
+  counts.add_in(0, 1, 1);
+  for (std::uint32_t c = 0; c < blocked.communities(); ++c) {
+    const std::uint64_t susceptible = blocked.size(c) - (c == 0 ? 1 : 0);
+    if (susceptible > 0) counts.add_in(c, 0, susceptible);
+  }
+  pp::BatchedSimulator<pp::Epidemic,
+                       pp::CommunityCountsConfiguration<pp::Epidemic>>
+      sim(protocol, std::move(counts), seed);
+  return sim.run_until(all_infected, max_interactions, probe_every);
 }
 
 core::MessageMultiplicity multiplicity_from_string(const std::string& name) {

@@ -21,6 +21,7 @@
 #include "core/agent.hpp"
 #include "core/elect_leader.hpp"
 #include "core/params.hpp"
+#include "pp/graph.hpp"
 #include "pp/simulator.hpp"
 
 namespace ssle::analysis {
@@ -52,6 +53,53 @@ enum class Engine { kNaive, kBatched, kLeaping };
 /// core::make_adversarial_config (self-stabilization quantifies over
 /// arbitrary starts).
 enum class StartKind { kClean, kAdversarial };
+
+/// Which interaction topology a measurement runs on.  The Engine × Topology
+/// dispatch in stabilize()/epidemic_convergence() routes each combination
+/// to an engine that simulates it *exactly*:
+///
+///   * kComplete      — the classical model; every engine, unchanged paths.
+///   * kIslands       — K cliques (intra weight) bridged all-to-all (inter
+///                      weight); blocked (pp::BlockedTopology), so naive
+///                      runs pp::BlockedScheduler and batched/leaping run
+///                      the lumped (community, state) engine
+///                      (pp::CommunityCountsConfiguration) — the only
+///                      engine for it beyond naive-feasible n.
+///   * kMultipartite  — complete K-partite (inter edges only); blocked,
+///                      same routing as islands.
+///   * kRing          — the cycle graph: NOT blocked (no community lumping
+///                      exists — each agent's neighborhood is private), so
+///                      only the naive agent-array engine is exact.  A
+///                      batched/leaping request routes to naive with a loud
+///                      stderr note; population sizes beyond the naive
+///                      engine's uint32 limit are a hard error naming the
+///                      topology, because no engine supports that point.
+struct Topology {
+  enum class Kind { kComplete, kIslands, kMultipartite, kRing };
+  Kind kind = Kind::kComplete;
+  std::uint32_t communities = 1;  ///< K (blocked kinds only)
+  double intra = 1.0;             ///< islands intra-community edge weight
+  double inter = 0.05;            ///< islands inter-community edge weight
+  std::string spec = "complete";  ///< the canonical CLI spelling
+};
+
+/// Parses a `--topology=` CLI value:
+///   complete | ring | islands:K | islands:K:intra:inter | multipartite:K
+/// Exits with a clear error on anything else (K and the weights are
+/// validated here; sizes are validated against n by blocked_topology).
+Topology topology_from_string(const std::string& spec);
+const char* topology_name(const Topology& topology);
+
+/// True when the topology admits the (community, state) lumping — i.e. the
+/// counts engines can run it exactly (pp::LumpableTopology is the engine-
+/// side concept; this is the analysis-side routing predicate).
+bool topology_is_lumpable(const Topology& topology);
+
+/// The pp::BlockedTopology descriptor for a lumpable topology at
+/// population size n (exits with a clear error when n is too small for K
+/// communities).  Must not be called for kRing — the ring is not blocked.
+pp::BlockedTopology blocked_topology(const Topology& topology,
+                                     std::uint64_t n);
 
 /// Parses a `--engine=` CLI value ("naive" | "batched" | "leaping"); exits
 /// with a clear error on anything else.
@@ -96,6 +144,21 @@ StabilizationResult stabilize(Engine engine, const core::Params& params,
                               std::uint64_t seed,
                               std::uint64_t max_interactions);
 
+/// Engine × Topology dispatch (see Topology above): runs ElectLeader_r on
+/// the chosen topology, with each combination routed to an exact engine.
+/// kComplete delegates to the uniform paths unchanged; blocked topologies
+/// run BlockedScheduler (naive) or the lumped community engine
+/// (batched/leaping — leaping has no community leap path yet and routes to
+/// the community batched engine, mirroring its ineligible-protocol
+/// routing); kRing is naive-only (loud reroute).  Both engines of a
+/// blocked topology start from the same agent→community layout, so their
+/// laws agree (pinned by tiny-n TV tests).
+StabilizationResult stabilize(Engine engine, StartKind start,
+                              const core::Params& params,
+                              core::Corruption corruption, std::uint64_t seed,
+                              std::uint64_t max_interactions,
+                              const Topology& topology);
+
 /// Runs core::DerandomizedElectLeader (paper App. B: ElectLeader_r with a
 /// *deterministic* transition function) from a clean start on the chosen
 /// engine until the safe predicate holds.  On the batched engine the
@@ -135,5 +198,22 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions = 0,
                                    std::uint64_t probe_every = 0);
+
+/// Engine × Topology epidemic: one infected agent (agent 0, community 0)
+/// run to full infection.  kComplete delegates to the uniform overload;
+/// blocked topologies route naive → BlockedScheduler and batched/leaping →
+/// the lumped community engine, whose O(K) configuration keeps n = 10^6+
+/// feasible (an islands edge list at that n would hold ~5·10^11 edges).
+/// kRing runs the cycle graph on the naive engine (batched/leaping reroute
+/// loudly; n beyond uint32 is a hard error naming the topology).
+/// `max_interactions` of 0 scales the default budget to the topology: the
+/// blocked default is 8× the complete-graph 64·n·⌈log2 n⌉ (crossing
+/// sparse inter-community cuts), and the ring default is 16·n² (the cycle
+/// spreads by boundary contact — Θ(n²) interactions, paper §2 conductance).
+pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
+                                   std::uint64_t seed,
+                                   std::uint64_t max_interactions,
+                                   std::uint64_t probe_every,
+                                   const Topology& topology);
 
 }  // namespace ssle::analysis

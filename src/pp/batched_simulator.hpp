@@ -109,21 +109,42 @@ void sample_multivariate_hypergeometric(util::Rng& rng,
                                         std::uint64_t draws,
                                         std::vector<std::uint64_t>& out);
 
-template <Protocol P, typename Sched = UniformScheduler>
-class BatchedSimulator {
-  // Graph-restricted scheduling is naive-only by design (README,
-  // analysis/measure.hpp): the projection onto state counts is a Markov
-  // chain only under a scheduler oblivious to agent identity, so the
-  // batched engine rejects every other scheduler at compile time.
-  static_assert(std::same_as<Sched, UniformScheduler>,
-                "BatchedSimulator is uniform-scheduler-only: the counts "
-                "projection is not Markov under identity-aware schedulers "
-                "(e.g. pp::GraphScheduler); graph-restricted workloads must "
-                "run on the naive pp::Simulator.");
+/// A configuration the batched engine can advance *exactly*: a counts
+/// projection that is itself a Markov chain (a lumping of the agent-level
+/// process).  Two families qualify — `CountsConfiguration` (uniform
+/// scheduling: every ordered pair equally likely; `kUniformPairs = true`,
+/// the birthday-block machinery applies) and `CommunityCountsConfiguration`
+/// (blocked topologies lifted to (community, state) counts; the engine
+/// takes its exact per-interaction community path).  Arbitrary graphs do
+/// NOT qualify — their counts projection is not Markov — and must run on
+/// the naive pp::Simulator; analysis::stabilize routes them there at
+/// runtime (analysis/measure.hpp) instead of surfacing this concept's
+/// compile-time wall to end users.
+template <typename C, typename P>
+concept LumpableTopology =
+    Protocol<P> &&
+    requires(C& c, const C& cc, std::uint32_t id, std::uint64_t k,
+             const typename P::State& s) {
+      { C::kUniformPairs } -> std::convertible_to<bool>;
+      { cc.population_size() } -> std::convertible_to<std::uint64_t>;
+      { cc.num_states() } -> std::convertible_to<std::uint32_t>;
+      { cc.num_allocated_states() } -> std::convertible_to<std::uint32_t>;
+      { cc.num_live_states() } -> std::convertible_to<std::uint32_t>;
+      { cc.count(id) } -> std::convertible_to<std::uint64_t>;
+      { cc.registry_version() } -> std::convertible_to<std::uint64_t>;
+      { cc.state(id) } -> std::convertible_to<const typename P::State&>;
+      { c.index_near(s, id) } -> std::convertible_to<std::uint32_t>;
+      c.add_at(id, k);
+      c.remove_at(id, k);
+      c.compact();
+    };
 
+template <Protocol P, typename ConfigT = CountsConfiguration<P>>
+  requires LumpableTopology<ConfigT, P>
+class BatchedSimulator {
  public:
   using State = typename P::State;
-  using Config = CountsConfiguration<P>;
+  using Config = ConfigT;
   using Predicate =
       std::function<bool(const Config&, std::uint64_t /*interactions*/)>;
 
@@ -145,14 +166,30 @@ class BatchedSimulator {
   /// Executes exactly `count` interactions.  With fewer than two agents no
   /// pair exists and no interaction can change the configuration; steps
   /// are counted (so run_until terminates) but are no-ops.
+  ///
+  /// Uniform configurations advance in collision-free blocks.  Community
+  /// configurations advance one exact interaction at a time: the birthday
+  /// survival law behind the block machinery assumes every ordered pair is
+  /// equally likely, whereas under community weighting the collision
+  /// probability at in-block step t depends on *which* communities the
+  /// first t pairs hit — a trajectory-dependent quantity no precomputed
+  /// table captures.  The per-interaction path still runs entirely in
+  /// (community, state) id space with the shared δ-cache/scratch
+  /// machinery, so it is O(log q + q_c) per interaction independent of n —
+  /// the lumping is what buys feasibility at n = 10^6+, not blocking.
   void step(std::uint64_t count = 1) {
     if (config_.population_size() < 2) {
       interactions_ += count;
       return;
     }
-    std::uint64_t done = 0;
-    while (done < count) {
-      done += run_block(count - done);
+    if constexpr (Config::kUniformPairs) {
+      std::uint64_t done = 0;
+      while (done < count) {
+        done += run_block(count - done);
+        maybe_compact();
+      }
+    } else {
+      for (std::uint64_t t = 0; t < count; ++t) step_community();
       maybe_compact();
     }
     interactions_ += count;
@@ -197,6 +234,26 @@ class BatchedSimulator {
   std::size_t delta_cache_size() const { return delta_cache_.size(); }
 
  private:
+  /// One exact interaction of the community-weighted pair law
+  /// (pp/graph.hpp): ordered community pair (a, b) from the closed-form
+  /// edge-weight table, then a uniform agent (≡ count-proportional class)
+  /// draw within each community — removing the initiator before the
+  /// responder draw makes the a = b case without-replacement
+  /// automatically.  δ application reuses the block engine's collision
+  /// machinery (memoized id-space transitions, hinted re-interning).
+  void step_community()
+    requires(!Config::kUniformPairs)
+  {
+    const auto [a, b] = config_.sample_community_pair(rng_);
+    const std::uint32_t ia =
+        config_.sample_class_in(a, rng_.below(config_.community_size(a)));
+    config_.remove_at(ia, 1);
+    const std::uint32_t ib =
+        config_.sample_class_in(b, rng_.below(config_.community_size(b)));
+    config_.remove_at(ib, 1);
+    apply_collision(ia, ib);
+  }
+
   /// Builds log P(T > t), the log-survival of the first-collision time T,
   /// at every t: ∏_{s<t} (n-2s)(n-2s-1)/(n(n-1)).  Entries stop below
   /// -40 < log(2^-53), the log of the smallest positive value real() can
@@ -379,8 +436,8 @@ class BatchedSimulator {
         State& sa = assign_scratch(scratch_a_, ia);
         State& sb = assign_scratch(scratch_b_, ib);
         protocol_.interact(sa, sb, agent_rng_);
-        record_used_id(config_.index_of(sa, ia));
-        record_used_id(config_.index_of(sb, ib));
+        record_used_id(config_.index_near(sa, ia));
+        record_used_id(config_.index_near(sb, ib));
       }
     }
 
@@ -468,8 +525,8 @@ class BatchedSimulator {
     State& sa = assign_scratch(scratch_a_, ia);
     State& sb = assign_scratch(scratch_b_, ib);
     protocol_.interact(sa, sb, agent_rng_);
-    const std::uint32_t oa = config_.index_of(sa, ia);
-    const std::uint32_t ob = config_.index_of(sb, ib);
+    const std::uint32_t oa = config_.index_near(sa, ia);
+    const std::uint32_t ob = config_.index_near(sb, ib);
     return {oa, ob};
   }
 
@@ -485,8 +542,8 @@ class BatchedSimulator {
       State& sa = assign_scratch(scratch_a_, ai);
       State& sb = assign_scratch(scratch_b_, bi);
       protocol_.interact(sa, sb, agent_rng_);
-      config_.add_at(config_.index_of(sa, ai), 1);
-      config_.add_at(config_.index_of(sb, bi), 1);
+      config_.add_at(config_.index_near(sa, ai), 1);
+      config_.add_at(config_.index_near(sb, bi), 1);
     }
   }
 
@@ -545,8 +602,8 @@ class BatchedSimulator {
         State& sa = assign_scratch(scratch_a_, *proto_a_);
         State& sb = assign_scratch(scratch_b_, *proto_b_);
         protocol_.interact(sa, sb, agent_rng_);
-        record_output_id(config_.index_of(sa, a), 1);
-        record_output_id(config_.index_of(sb, b), 1);
+        record_output_id(config_.index_near(sa, a), 1);
+        record_output_id(config_.index_near(sb, b), 1);
       }
     }
   }

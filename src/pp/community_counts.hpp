@@ -1,0 +1,264 @@
+// The (community, state) counts projection for blocked topologies.
+//
+// On a BlockedTopology (pp/graph.hpp) agents of a community are
+// exchangeable: the scheduler's pair law depends only on the communities
+// of the endpoints, and the transition function δ only on the states.  So
+// the projection of a configuration onto counts indexed by the pair
+// (community, state) is again a Markov chain — the same lumping argument
+// that justifies the plain counts projection under uniform scheduling,
+// lifted by one coordinate.  `CommunityCountsConfiguration<P>` is that
+// lifted configuration: a `CountsKernel<CommunityKey<State>>`
+// (pp/counts.hpp — identical interner/Fenwick/compaction machinery, just
+// a packed key) plus the per-community bookkeeping the exact pair law
+// needs:
+//
+//   1. draw the ordered community pair (a, b) from the topology's
+//      closed-form edge-weight table,
+//   2. draw the initiator class within a and the responder class within b
+//      hypergeometrically (uniform agent draws against the current
+//      community counts, without replacement when a = b),
+//   3. apply δ and re-intern the outputs in their original communities
+//      (δ never moves an agent between communities — communities are
+//      topology, not state).
+//
+// Steps 2–3 are what BatchedSimulator's community path executes
+// (pp/batched_simulator.hpp); this type owns the law-relevant state.
+// Communities are contiguous index ranges of the underlying agent vector,
+// matching BlockedScheduler's agent layout, so naive(BlockedScheduler) and
+// batched(lumped) runs of the same topology simulate the same chain.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pp/counts.hpp"
+#include "pp/graph.hpp"
+#include "pp/interner.hpp"
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace ssle::pp {
+
+/// The packed key of the lifted projection: which community an agent sits
+/// in, and which protocol state it carries.
+template <typename S>
+struct CommunityKey {
+  std::uint32_t community = 0;
+  S state{};
+
+  friend bool operator==(const CommunityKey&, const CommunityKey&) = default;
+};
+
+}  // namespace ssle::pp
+
+/// Hash for hashable states only — non-hashable states make the packed key
+/// non-hashable too, and the kernel's interner falls back to its exact
+/// linear scan, mirroring the plain configuration's behavior.
+template <typename S>
+  requires ssle::pp::HashableState<S>
+struct std::hash<ssle::pp::CommunityKey<S>> {
+  std::size_t operator()(const ssle::pp::CommunityKey<S>& k) const {
+    const std::size_t h = std::hash<S>{}(k.state);
+    return h ^ (static_cast<std::size_t>(k.community) +
+                0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+};
+
+namespace ssle::pp {
+
+template <Protocol P>
+class CommunityCountsConfiguration {
+ public:
+  using State = typename P::State;
+  using Key = CommunityKey<State>;
+
+  /// The pair law is community-weighted, not uniform: the batched engine
+  /// must take its exact per-interaction community path instead of the
+  /// uniform birthday-block machinery (whose collision law assumes every
+  /// ordered pair is equally likely).
+  static constexpr bool kUniformPairs = false;
+
+  /// Clean initial configuration: agent i of the protocol's initial
+  /// assignment lands in community_of_agent(i) — identical layout to a
+  /// Population driven by BlockedScheduler.
+  CommunityCountsConfiguration(const P& protocol, BlockedTopology topology)
+      : CommunityCountsConfiguration(std::move(topology)) {
+    assert(topology_.total_agents() == protocol.population_size());
+    for (std::uint32_t i = 0; i < protocol.population_size(); ++i) {
+      add_in(topology_.community_of_agent(i), protocol.initial_state(i), 1);
+    }
+  }
+
+  /// Projection of an explicit configuration (adversarial starts).
+  CommunityCountsConfiguration(const std::vector<State>& states,
+                               BlockedTopology topology)
+      : CommunityCountsConfiguration(std::move(topology)) {
+    assert(topology_.total_agents() == states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      add_in(topology_.community_of_agent(i), states[i], 1);
+    }
+  }
+
+  /// Empty configuration over a topology: callers with closed-form counts
+  /// (e.g. the O(1)-construction epidemic at n = 10^10) fill communities
+  /// directly with add_in and skip the O(n) projection loop entirely.
+  explicit CommunityCountsConfiguration(BlockedTopology topology)
+      : topology_(std::move(topology)),
+        csize_(topology_.communities(), 0),
+        members_(topology_.communities()) {}
+
+  // --- Registry view (engine-facing; see CountsKernel) -----------------
+  std::uint64_t population_size() const { return kernel_.population_size(); }
+  std::uint32_t num_states() const { return kernel_.num_states(); }
+  std::uint32_t num_allocated_states() const {
+    return kernel_.num_allocated_states();
+  }
+  std::uint32_t num_live_states() const { return kernel_.num_live_states(); }
+  std::uint64_t count(std::uint32_t idx) const { return kernel_.count(idx); }
+  std::uint64_t registry_version() const { return kernel_.registry_version(); }
+
+  /// The protocol state class idx stands for (community stripped — this is
+  /// what δ consumes; δ is community-oblivious).
+  const State& state(std::uint32_t idx) const { return kernel_.key(idx).state; }
+  std::uint32_t community_of(std::uint32_t idx) const {
+    return kernel_.key(idx).community;
+  }
+
+  /// Id of output state s for an interaction whose input held id `hint`:
+  /// the output stays in the input's community (topology is not state), so
+  /// the packed key is (community_of(hint), s).
+  std::uint32_t index_near(const State& s, std::uint32_t hint) {
+    scratch_.community = community_of(hint);
+    scratch_.state = s;
+    return register_index(kernel_.index_of(scratch_, hint));
+  }
+
+  void add_at(std::uint32_t idx, std::uint64_t c) {
+    kernel_.add_at(idx, c);
+    csize_[community_of(idx)] += c;
+  }
+
+  void remove_at(std::uint32_t idx, std::uint64_t c) {
+    csize_[community_of(idx)] -= c;
+    kernel_.remove_at(idx, c);
+  }
+
+  /// Registers (community, state) and adds c agents; the community-lifted
+  /// twin of CountsKernel::add.
+  std::uint32_t add_in(std::uint32_t community, const State& s,
+                       std::uint64_t c) {
+    scratch_.community = community;
+    scratch_.state = s;
+    const std::uint32_t idx = register_index(kernel_.index_of(scratch_));
+    add_at(idx, c);
+    return idx;
+  }
+
+  void compact() {
+    kernel_.compact();
+    rebuild_members();
+  }
+
+  // --- State marginal (analysis-facing: predicates ignore communities) --
+  std::uint64_t count_of(const State& s) const {
+    std::uint64_t c = 0;
+    kernel_.for_each([&](const Key& k, std::uint64_t cnt) {
+      if (k.state == s) c += cnt;
+    });
+    return c;
+  }
+
+  template <typename Pred>
+  std::uint64_t count_if(Pred&& pred) const {
+    return kernel_.count_if([&](const Key& k) { return pred(k.state); });
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    kernel_.for_each(
+        [&](const Key& k, std::uint64_t cnt) { f(k.state, cnt); });
+  }
+
+  // --- The pair law ----------------------------------------------------
+  const BlockedTopology& topology() const { return topology_; }
+
+  std::pair<std::uint32_t, std::uint32_t> sample_community_pair(
+      util::Rng& rng) const {
+    return topology_.sample_pair(rng);
+  }
+
+  /// Current number of agents in community c (= topology size except in
+  /// the middle of an interaction, when the initiator is held out).
+  std::uint64_t community_size(std::uint32_t c) const { return csize_[c]; }
+
+  /// The class holding the pos-th agent of community c (agents of a
+  /// community laid out in member-list order): drawing pos uniformly from
+  /// [0, community_size(c)) samples a class with probability proportional
+  /// to its count — the within-community uniform agent draw of the exact
+  /// law.  O(q_c) scan over the community's member ids; blocked-topology
+  /// protocols worth lumping have narrow per-community registries, and the
+  /// global Fenwick tree cannot answer per-community ranks.
+  std::uint32_t sample_class_in(std::uint32_t c, std::uint64_t pos) const {
+    assert(pos < csize_[c]);
+    for (const std::uint32_t idx : members_[c]) {
+      const std::uint64_t cnt = kernel_.count(idx);
+      if (pos < cnt) return idx;
+      pos -= cnt;
+    }
+    assert(false && "community member lists out of sync with counts");
+    return members_[c].back();
+  }
+
+  /// Expansion back to a flat configuration, agents grouped by community
+  /// in topology order — the layout BlockedScheduler assumes.
+  std::vector<State> to_states() const {
+    std::vector<State> out;
+    out.reserve(population_size());
+    for (std::uint32_t c = 0; c < topology_.communities(); ++c) {
+      for (const std::uint32_t idx : members_[c]) {
+        for (std::uint64_t j = 0; j < kernel_.count(idx); ++j) {
+          out.push_back(state(idx));
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  /// Keeps the per-community member lists in sync with the registry: a
+  /// newly allocated (or free-list-reused) id joins its community's list.
+  std::uint32_t register_index(std::uint32_t idx) {
+    if (idx >= in_members_.size()) in_members_.resize(idx + 1, 0);
+    if (!in_members_[idx]) {
+      in_members_[idx] = 1;
+      members_[community_of(idx)].push_back(idx);
+    }
+    return idx;
+  }
+
+  void rebuild_members() {
+    for (auto& m : members_) m.clear();
+    in_members_.assign(kernel_.num_states(), 0);
+    for (std::uint32_t idx = 0; idx < kernel_.num_states(); ++idx) {
+      if (kernel_.interner().allocated(idx)) {
+        in_members_[idx] = 1;
+        members_[community_of(idx)].push_back(idx);
+      }
+    }
+  }
+
+  CountsKernel<Key> kernel_;
+  BlockedTopology topology_;
+  std::vector<std::uint64_t> csize_;  ///< community → current agent count
+  /// community → registered class ids (live and zero-count until compact).
+  std::vector<std::vector<std::uint32_t>> members_;
+  std::vector<char> in_members_;  ///< id → already in a member list?
+  Key scratch_{};                 ///< reused packed key (no per-step copies)
+};
+
+}  // namespace ssle::pp

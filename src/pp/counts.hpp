@@ -3,29 +3,40 @@
 // The uniform scheduler is oblivious to agent identity and every protocol's
 // transition depends only on the two interacting *states*, so the projection
 // of the configuration onto state counts is itself a Markov chain
-// (lumpability).  `CountsConfiguration` stores that projection as a dense
-// id → count registry over a `StateInterner` (pp/interner.hpp): distinct
-// states live once in the interner's arena, are hashed once when first
-// seen, and everything downstream — counts, the Fenwick tree, block
-// samplers, the batched engine's scratch multisets and memoized transition
-// cache — manipulates plain `std::uint32_t` class ids.  Ids are STABLE:
-// compact() releases dead (zero-count) ids back to the interner's free
-// list for reuse instead of re-indexing, so live ids and all Fenwick sums
-// survive compaction unchanged, and long churny runs (adversarial starts,
-// recovery cycles) cannot accumulate an unbounded tail of dead classes.
+// (lumpability).  The same argument survives one generalization: on a
+// *blocked* topology (cliques, complete-multipartite "islands", community
+// models — pp::BlockedTopology) agents within a community are exchangeable,
+// so the projection onto (community, state) counts is again Markov.  Both
+// projections share every piece of machinery except the key type, so the
+// machinery lives in a generic `CountsKernel<Key>`:
 //
-// This is the representation the batched engine (pp/batched_simulator.hpp)
-// advances with hypergeometric draws; at n = 10^6+ it replaces a
-// multi-megabyte agent array with a handful of counters.
+//   * an interner-backed registry (pp/interner.hpp): distinct keys live
+//     once in the interner's arena, are hashed once when first seen, and
+//     everything downstream — counts, the Fenwick tree, block samplers,
+//     the batched engine's scratch multisets and memoized transition
+//     cache — manipulates plain `std::uint32_t` class ids.  Ids are
+//     STABLE: compact() releases dead (zero-count) ids back to the
+//     interner's free list for reuse instead of re-indexing, so live ids
+//     and all Fenwick sums survive compaction unchanged, and long churny
+//     runs (adversarial starts, recovery cycles) cannot accumulate an
+//     unbounded tail of dead classes;
+//   * a Fenwick (binary indexed) tree over the counts: every add/remove
+//     is an O(log q) point update, and `sample_class(pos)` resolves
+//     "which class holds the pos-th agent in cumulative-count order" in
+//     O(log q) by descending the tree.  That turns a uniform agent draw
+//     (the primitive behind without-replacement block sampling and
+//     adversarial churn) into a logarithmic operation instead of an O(q)
+//     scan — the difference between O(q) and O(L·log q) per block for
+//     registries with q ≈ n distinct states (ElectLeader_r);
+//   * incremental live-count bookkeeping, so compaction decisions are
+//     O(1) per block.
 //
-// A Fenwick (binary indexed) tree over the counts is maintained alongside
-// the registry: every add/remove is an O(log q) point update, and
-// `sample_class(pos)` resolves "which class holds the pos-th agent in
-// cumulative-count order" in O(log q) by descending the tree.  That turns
-// a uniform agent draw (the primitive behind without-replacement block
-// sampling and adversarial churn) into a logarithmic operation instead of
-// an O(q) scan — the difference between O(q) and O(L·log q) per block for
-// registries with q ≈ n distinct states (ElectLeader_r).
+// `CountsConfiguration<P>` (Key = the protocol's State) is the thin
+// instantiation the uniform-scheduler engines advance
+// (pp/batched_simulator.hpp, pp/leaping_simulator.hpp); at n = 10^6+ it
+// replaces a multi-megabyte agent array with a handful of counters.
+// `CommunityCountsConfiguration<P>` (pp/community_counts.hpp; Key = packed
+// (community, state)) is the lifted instantiation for blocked topologies.
 #pragma once
 
 #include <bit>
@@ -39,25 +50,14 @@
 
 namespace ssle::pp {
 
-template <Protocol P>
-class CountsConfiguration {
+/// The generic counts registry: key ↔ id interning, id → count bookkeeping,
+/// and a Fenwick index over the counts.  Key must be equality-comparable
+/// and copyable; a std::hash specialization enables the interner's O(1)
+/// id-table path (non-hashable keys fall back to a linear scan).
+template <typename Key>
+class CountsKernel {
  public:
-  using State = typename P::State;
-
-  /// Clean initial configuration defined by the protocol.
-  explicit CountsConfiguration(const P& protocol) {
-    for (std::uint32_t i = 0; i < protocol.population_size(); ++i) {
-      add(protocol.initial_state(i), 1);
-    }
-  }
-
-  /// Projection of an explicit configuration (adversarial starts, interop).
-  explicit CountsConfiguration(const std::vector<State>& states) {
-    for (const State& s : states) add(s, 1);
-  }
-
-  explicit CountsConfiguration(const Population<P>& population)
-      : CountsConfiguration(population.states()) {}
+  CountsKernel() = default;
 
   /// Total number of agents n (the multiset cardinality).
   std::uint64_t population_size() const { return total_; }
@@ -67,7 +67,7 @@ class CountsConfiguration {
   /// iterating or for sizing id-indexed scratch arrays.
   std::uint32_t num_states() const { return interner_.capacity(); }
 
-  /// Number of currently interned states (excludes reclaimed slots;
+  /// Number of currently interned keys (excludes reclaimed slots;
   /// includes registered-but-zero-count entries until compact()).
   std::uint32_t num_allocated_states() const { return interner_.size(); }
 
@@ -75,27 +75,27 @@ class CountsConfiguration {
   /// incrementally (so compaction decisions cost O(1), not O(q)).
   std::uint32_t num_live_states() const { return live_; }
 
-  const State& state(std::uint32_t idx) const { return interner_.state(idx); }
+  const Key& key(std::uint32_t idx) const { return interner_.state(idx); }
   std::uint64_t count(std::uint32_t idx) const { return counts_[idx]; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
 
-  const StateInterner<State>& interner() const { return interner_; }
+  const StateInterner<Key>& interner() const { return interner_; }
 
   /// Bumped whenever compact() reclaims ids.  Caches keyed on class ids
   /// (e.g. the batched engine's memoized transition table) must be dropped
-  /// when this changes — reclaimed ids may be reused for other states.
+  /// when this changes — reclaimed ids may be reused for other keys.
   std::uint64_t registry_version() const { return interner_.version(); }
 
-  /// Count of a state, 0 if it was never registered.
-  std::uint64_t count_of(const State& s) const {
-    const std::uint32_t id = interner_.find(s);
-    return id == StateInterner<State>::kNoId ? 0 : counts_[id];
+  /// Count of a key, 0 if it was never registered.
+  std::uint64_t count_of(const Key& k) const {
+    const std::uint32_t id = interner_.find(k);
+    return id == StateInterner<Key>::kNoId ? 0 : counts_[id];
   }
 
-  /// Id of a state, registering it (with count 0) if new.  Stable until
+  /// Id of a key, registering it (with count 0) if new.  Stable until
   /// the id is reclaimed by compact().
-  std::uint32_t index_of(const State& s) {
-    const std::uint32_t id = interner_.intern(s);
+  std::uint32_t index_of(const Key& k) {
+    const std::uint32_t id = interner_.intern(k);
     if (id >= counts_.size()) {
       counts_.push_back(0);
       tree_append();
@@ -103,36 +103,36 @@ class CountsConfiguration {
     return id;
   }
 
-  /// Id of `s` when the caller already suspects it: if `hint` currently
-  /// stands for a state equal to s, returns it without hashing — the fast
+  /// Id of `k` when the caller already suspects it: if `hint` currently
+  /// stands for a key equal to k, returns it without hashing — the fast
   /// path for "this interaction left the state unchanged".
-  std::uint32_t index_of(const State& s, std::uint32_t hint) {
-    if (interner_.allocated(hint) && s == interner_.state(hint)) return hint;
-    return index_of(s);
+  std::uint32_t index_of(const Key& k, std::uint32_t hint) {
+    if (interner_.allocated(hint) && k == interner_.state(hint)) return hint;
+    return index_of(k);
   }
 
-  /// Adds k agents in state s; returns the state's id.
-  std::uint32_t add(const State& s, std::uint64_t k) {
-    const std::uint32_t idx = index_of(s);
-    add_at(idx, k);
+  /// Adds c agents under key k; returns the key's id.
+  std::uint32_t add(const Key& k, std::uint64_t c) {
+    const std::uint32_t idx = index_of(k);
+    add_at(idx, c);
     return idx;
   }
 
-  /// Adds k agents to the already-registered state at idx.
-  void add_at(std::uint32_t idx, std::uint64_t k) {
-    if (counts_[idx] == 0 && k > 0) ++live_;
-    counts_[idx] += k;
-    total_ += k;
-    tree_add(idx, k);
+  /// Adds c agents to the already-registered key at idx.
+  void add_at(std::uint32_t idx, std::uint64_t c) {
+    if (counts_[idx] == 0 && c > 0) ++live_;
+    counts_[idx] += c;
+    total_ += c;
+    tree_add(idx, c);
   }
 
-  /// Removes k agents from the state at idx (k must not exceed the count).
-  void remove_at(std::uint32_t idx, std::uint64_t k) {
-    assert(counts_[idx] >= k);
-    counts_[idx] -= k;
-    total_ -= k;
-    if (counts_[idx] == 0 && k > 0) --live_;
-    tree_sub(idx, k);
+  /// Removes c agents from the key at idx (c must not exceed the count).
+  void remove_at(std::uint32_t idx, std::uint64_t c) {
+    assert(counts_[idx] >= c);
+    counts_[idx] -= c;
+    total_ -= c;
+    if (counts_[idx] == 0 && c > 0) --live_;
+    tree_sub(idx, c);
   }
 
   /// Total count of the registry entries [0, idx) — the cumulative rank of
@@ -164,7 +164,7 @@ class CountsConfiguration {
     return idx;
   }
 
-  /// Applies f(state, count) to every state with a nonzero count.
+  /// Applies f(key, count) to every key with a nonzero count.
   template <typename F>
   void for_each(F&& f) const {
     for (std::uint32_t i = 0; i < counts_.size(); ++i) {
@@ -172,36 +172,21 @@ class CountsConfiguration {
     }
   }
 
-  /// Number of agents whose state satisfies pred.
+  /// Number of agents whose key satisfies pred.
   template <typename Pred>
   std::uint64_t count_if(Pred&& pred) const {
-    std::uint64_t k = 0;
+    std::uint64_t c = 0;
     for (std::uint32_t i = 0; i < counts_.size(); ++i) {
-      if (counts_[i] > 0 && pred(interner_.state(i))) k += counts_[i];
+      if (counts_[i] > 0 && pred(interner_.state(i))) c += counts_[i];
     }
-    return k;
+    return c;
   }
-
-  /// Expands back to a flat configuration (state order is registry order;
-  /// any agent labelling is valid because counts determine the dynamics).
-  std::vector<State> to_states() const {
-    std::vector<State> out;
-    out.reserve(total_);
-    for (std::uint32_t i = 0; i < counts_.size(); ++i) {
-      for (std::uint64_t j = 0; j < counts_[i]; ++j) {
-        out.push_back(interner_.state(i));
-      }
-    }
-    return out;
-  }
-
-  Population<P> to_population() const { return Population<P>(to_states()); }
 
   /// Releases every zero-count id to the interner's free list (it will be
   /// reused by future registrations) and trims trailing reclaimed slots.
   /// Live ids — and all their Fenwick sums — are untouched: no re-indexing
-  /// happens, so previously obtained ids of live states stay valid.  Ids
-  /// of dead states become invalid; registry_version() records that.
+  /// happens, so previously obtained ids of live keys stay valid.  Ids
+  /// of dead keys become invalid; registry_version() records that.
   void compact() {
     interner_.reclaim([&](std::uint32_t id) { return counts_[id] == 0; });
     interner_.shrink();
@@ -216,34 +201,89 @@ class CountsConfiguration {
  private:
   // Fenwick tree over counts_, 1-indexed (tree_[0] unused): tree_[j] holds
   // the sum of counts_[j - lowbit(j) .. j - 1].
-  void tree_add(std::uint32_t idx, std::uint64_t k) {
+  void tree_add(std::uint32_t idx, std::uint64_t c) {
     const auto size = static_cast<std::uint32_t>(tree_.size() - 1);
     for (std::uint32_t j = idx + 1; j <= size; j += j & (~j + 1u)) {
-      tree_[j] += k;
+      tree_[j] += c;
     }
   }
 
-  void tree_sub(std::uint32_t idx, std::uint64_t k) {
+  void tree_sub(std::uint32_t idx, std::uint64_t c) {
     const auto size = static_cast<std::uint32_t>(tree_.size() - 1);
     for (std::uint32_t j = idx + 1; j <= size; j += j & (~j + 1u)) {
-      tree_[j] -= k;
+      tree_[j] -= c;
     }
   }
 
   /// Extends the tree for a just-registered entry (count 0): the new node
   /// covers the trailing lowbit(j) entries, whose sum is a prefix
-  /// difference — O(log q), so registering states stays cheap.
+  /// difference — O(log q), so registering keys stays cheap.
   void tree_append() {
     const auto j = static_cast<std::uint32_t>(counts_.size());
     const std::uint32_t lb = j & (~j + 1u);
     tree_.push_back(prefix_count(j - 1) - prefix_count(j - lb));
   }
 
-  StateInterner<State> interner_;        ///< id ↔ state, hashed once
+  StateInterner<Key> interner_;          ///< id ↔ key, hashed once
   std::vector<std::uint64_t> counts_;    ///< id → count (0 for free slots)
   std::vector<std::uint64_t> tree_{0};   ///< Fenwick tree over counts_
   std::uint64_t total_ = 0;
   std::uint32_t live_ = 0;  ///< number of nonzero counts_ entries
+};
+
+/// The uniform-scheduler counts projection: Key = the protocol's State.
+/// A thin instantiation of CountsKernel plus the protocol-facing
+/// conveniences (clean-start and projection constructors, expansion back
+/// to a flat configuration).
+template <Protocol P>
+class CountsConfiguration : public CountsKernel<typename P::State> {
+ public:
+  using State = typename P::State;
+
+  /// Under the uniform scheduler every ordered agent pair is equally
+  /// likely, so the batched engine's birthday-block machinery applies
+  /// as-is (pp::LumpableTopology in pp/batched_simulator.hpp).
+  static constexpr bool kUniformPairs = true;
+
+  /// Clean initial configuration defined by the protocol.
+  explicit CountsConfiguration(const P& protocol) {
+    for (std::uint32_t i = 0; i < protocol.population_size(); ++i) {
+      this->add(protocol.initial_state(i), 1);
+    }
+  }
+
+  /// Projection of an explicit configuration (adversarial starts, interop).
+  explicit CountsConfiguration(const std::vector<State>& states) {
+    for (const State& s : states) this->add(s, 1);
+  }
+
+  explicit CountsConfiguration(const Population<P>& population)
+      : CountsConfiguration(population.states()) {}
+
+  /// The protocol state class id idx stands for (the key, under this
+  /// instantiation).
+  const State& state(std::uint32_t idx) const { return this->key(idx); }
+
+  /// Id of output state `s` produced by an interaction whose input held id
+  /// `hint` — the engine-facing re-interning hook.  Under the uniform
+  /// projection this is exactly the hinted index_of; the community-lifted
+  /// configuration uses the hint to keep the output in its community.
+  std::uint32_t index_near(const State& s, std::uint32_t hint) {
+    return this->index_of(s, hint);
+  }
+
+  /// Expands back to a flat configuration (state order is registry order;
+  /// any agent labelling is valid because counts determine the dynamics).
+  std::vector<State> to_states() const {
+    std::vector<State> out;
+    out.reserve(this->population_size());
+    this->for_each([&](const State& s, std::uint64_t c) {
+      for (std::uint64_t j = 0; j < c; ++j) out.push_back(s);
+    });
+    return out;
+  }
+
+  Population<P> to_population() const { return Population<P>(to_states()); }
 };
 
 }  // namespace ssle::pp

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "pp/scheduler.hpp"
@@ -57,6 +59,12 @@ class Graph {
   /// Erdős–Rényi G(n, p), re-sampled until connected (caller should pass
   /// p ≥ c·log(n)/n).
   static Graph erdos_renyi(std::uint32_t n, double p, util::Rng& rng);
+  /// Complete multipartite graph: n vertices split into k near-equal
+  /// blocks (first n % k blocks one larger); edges join every pair of
+  /// vertices in *different* blocks.  The materialized twin of
+  /// BlockedTopology::multipartite — used to cross-validate the blocked
+  /// samplers against the generic edge-list scheduler at small n.
+  static Graph complete_multipartite(std::uint32_t n, std::uint32_t k);
 
  private:
   std::uint32_t n_;
@@ -81,6 +89,110 @@ class GraphScheduler {
 
  private:
   Graph graph_;
+  util::Rng rng_;
+};
+
+/// A blocked (community-structured) topology: n agents partitioned into K
+/// communities laid out contiguously by agent index, with edge weight
+/// `intra` between agents of the same community and `inter` between agents
+/// of different communities.  This family covers the structured graphs on
+/// which the counts projection lifted to (community, state) is an exact
+/// Markov lumping — agents within a community are exchangeable, so no
+/// per-agent information survives the projection:
+///
+///   * complete(n)            — K = 1, intra = 1 (the classical model);
+///   * islands(n, K, wi, wo)  — K cliques of weight wi bridged all-to-all
+///                              by weight wo (complete when wi = wo);
+///   * multipartite(n, K)     — intra = 0, inter = 1: the complete
+///                              K-partite graph (bully-style all-to-all
+///                              across groups, silence within).
+///
+/// The ordered pair-scheduling law is closed-form: an ordered agent pair
+/// (u, v), u in community a, v in community b, is drawn with probability
+/// proportional to its edge weight, i.e. the ordered *community* pair
+/// (a, b) has total weight
+///
+///     W(a, a) = intra · m_a · (m_a − 1),      W(a, b) = inter · m_a · m_b
+///
+/// and within the chosen communities agents are uniform (without
+/// replacement when a = b).  Both exact engines for this family sample
+/// from the same table: BlockedScheduler picks concrete agents for the
+/// naive engine (O(n) memory at any n — no edge materialization, unlike
+/// Graph, whose islands edge list at n = 10^6 would hold ~5·10^11 edges),
+/// and CommunityCountsConfiguration (pp/community_counts.hpp) picks
+/// (community, state) classes for the batched engine.
+class BlockedTopology {
+ public:
+  static BlockedTopology complete(std::uint64_t n);
+  /// K near-equal cliques (first n % K one agent larger), intra-community
+  /// weight `intra`, inter-community weight `inter`.  Requires K >= 1,
+  /// n >= K, and a connected weighting (inter > 0 when K > 1).
+  static BlockedTopology islands(std::uint64_t n, std::uint32_t k,
+                                 double intra = 1.0, double inter = 0.05);
+  /// Complete K-partite graph on near-equal blocks.  Requires K >= 2.
+  static BlockedTopology multipartite(std::uint64_t n, std::uint32_t k);
+
+  std::uint32_t communities() const {
+    return static_cast<std::uint32_t>(sizes_.size());
+  }
+  std::uint64_t size(std::uint32_t c) const { return sizes_[c]; }
+  /// First agent index of community c (communities are contiguous).
+  std::uint64_t offset(std::uint32_t c) const { return offsets_[c]; }
+  std::uint64_t total_agents() const { return total_; }
+  std::uint32_t community_of_agent(std::uint64_t agent) const;
+
+  double intra_weight() const { return intra_; }
+  double inter_weight() const { return inter_; }
+  const std::string& name() const { return name_; }
+
+  /// Total edge weight of the ordered community pair (a, b).
+  double pair_weight(std::uint32_t a, std::uint32_t b) const;
+
+  /// Draws an ordered community pair (a, b) with probability proportional
+  /// to pair_weight — the community marginal of the exact pair law.
+  std::pair<std::uint32_t, std::uint32_t> sample_pair(util::Rng& rng) const;
+
+ private:
+  BlockedTopology(std::string name, std::vector<std::uint64_t> sizes,
+                  double intra, double inter);
+
+  std::string name_;
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<double> cum_;  ///< cumulative pair weights, row-major K×K
+  double total_weight_ = 0.0;
+  std::uint64_t total_ = 0;
+  double intra_ = 1.0;
+  double inter_ = 1.0;
+};
+
+/// Scheduler drawing exact agent pairs of a BlockedTopology for the naive
+/// engine: community pair from the closed-form weight table, then uniform
+/// agents within each community (without replacement when the communities
+/// coincide).  Memory is O(K²) regardless of n, so the naive engine gets
+/// an exact structured-topology baseline without materializing edges.
+class BlockedScheduler {
+ public:
+  BlockedScheduler(BlockedTopology topology, std::uint64_t seed)
+      : topology_(std::move(topology)), rng_(seed) {}
+
+  Pair next() {
+    const auto [a, b] = topology_.sample_pair(rng_);
+    const std::uint64_t i = topology_.offset(a) + rng_.below(topology_.size(a));
+    std::uint64_t j;
+    if (a == b) {
+      j = topology_.offset(a) + rng_.below(topology_.size(a) - 1);
+      if (j >= i) ++j;
+    } else {
+      j = topology_.offset(b) + rng_.below(topology_.size(b));
+    }
+    return Pair{static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+  }
+
+  const BlockedTopology& topology() const { return topology_; }
+
+ private:
+  BlockedTopology topology_;
   util::Rng rng_;
 };
 

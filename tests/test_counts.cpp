@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "pp/batched_simulator.hpp"
+#include "pp/community_counts.hpp"
 #include "pp/epidemic.hpp"
 
 namespace ssle::pp {
@@ -413,6 +414,77 @@ TEST(Hypergeometric, MultivariateMeansAreProportional) {
   EXPECT_NEAR(sums[0] / trials, 60.0, 0.5);
   EXPECT_NEAR(sums[1] / trials, 30.0, 0.5);
   EXPECT_NEAR(sums[2] / trials, 10.0, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// CountsKernel over packed (community, state) keys: the generic machinery
+// behaves identically whether Key is a bare state or a composite — the
+// community lift reuses it unmodified (pp/community_counts.hpp).
+// ---------------------------------------------------------------------------
+
+using PackedKey = CommunityKey<int>;
+
+TEST(CountsKernel, PackedKeyFenwickConsistencyUnderChurn) {
+  static_assert(HashableState<PackedKey>);
+  CountsKernel<PackedKey> kernel;
+  util::Rng rng(11);
+  for (int round = 0; round < 200; ++round) {
+    const PackedKey key{static_cast<std::uint32_t>(rng.below(4)),
+                        static_cast<int>(rng.below(6))};
+    kernel.add(key, 1 + rng.below(5));
+  }
+  expect_index_consistent(kernel);
+  // Drain random classes; the Fenwick index must stay exact throughout.
+  for (int round = 0; round < 100 && kernel.population_size() > 0; ++round) {
+    const auto idx = kernel.sample_class(rng.below(kernel.population_size()));
+    kernel.remove_at(idx, 1 + rng.below(kernel.count(idx)));
+  }
+  expect_index_consistent(kernel);
+}
+
+TEST(CountsKernel, PackedKeysWithSameStateDifferentCommunityAreDistinct) {
+  CountsKernel<PackedKey> kernel;
+  const auto a = kernel.add(PackedKey{0, 7}, 3);
+  const auto b = kernel.add(PackedKey{1, 7}, 5);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(kernel.count_of(PackedKey{0, 7}), 3u);
+  EXPECT_EQ(kernel.count_of(PackedKey{1, 7}), 5u);
+  EXPECT_EQ(kernel.key(a).community, 0u);
+  EXPECT_EQ(kernel.key(b).community, 1u);
+  EXPECT_EQ(kernel.key(a).state, kernel.key(b).state);
+}
+
+TEST(CountsKernel, PackedKeyCompactKeepsLiveIdsStable) {
+  CountsKernel<PackedKey> kernel;
+  const auto a = kernel.add(PackedKey{0, 1}, 2);
+  const auto b = kernel.add(PackedKey{1, 1}, 4);
+  const auto c = kernel.add(PackedKey{1, 2}, 1);
+  kernel.remove_at(b, 4);
+  const auto version = kernel.registry_version();
+  kernel.compact();
+  // The dead interior id is released; surviving packed keys keep their ids
+  // and their counts — no re-indexing (the property every id-keyed cache
+  // in the batched engine relies on, now for community ids too).
+  EXPECT_GT(kernel.registry_version(), version);
+  EXPECT_EQ(kernel.num_allocated_states(), 2u);
+  EXPECT_EQ(kernel.count(a), 2u);
+  EXPECT_EQ(kernel.count(c), 1u);
+  EXPECT_EQ(kernel.index_of(PackedKey{0, 1}), a);
+  EXPECT_EQ(kernel.index_of(PackedKey{1, 2}), c);
+  // The reclaimed slot is reused by the next novel packed key.
+  EXPECT_EQ(kernel.index_of(PackedKey{3, 9}), b);
+  expect_index_consistent(kernel);
+}
+
+TEST(CountsKernel, HintedIndexOfHonorsThePackedKey) {
+  CountsKernel<PackedKey> kernel;
+  const auto a = kernel.add(PackedKey{0, 5}, 1);
+  const auto b = kernel.add(PackedKey{2, 5}, 1);
+  // A correct hint is returned as-is; a hint whose key differs (same state,
+  // other community) must not be trusted.
+  EXPECT_EQ(kernel.index_of(PackedKey{0, 5}, a), a);
+  EXPECT_EQ(kernel.index_of(PackedKey{0, 5}, b), a);
+  EXPECT_EQ(kernel.index_of(PackedKey{2, 5}, a), b);
 }
 
 }  // namespace
