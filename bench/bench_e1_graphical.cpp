@@ -22,16 +22,19 @@
 #include <cmath>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/experiment.hpp"
 #include "analysis/measure.hpp"
 #include "core/elect_leader.hpp"
 #include "core/safety.hpp"
+#include "obs/report.hpp"
 #include "pp/epidemic.hpp"
 #include "pp/graph.hpp"
 #include "pp/simulator.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -134,6 +137,12 @@ int main(int argc, char** argv) {
   const auto ncmp = cli.get_count_u32("ncmp", 20000);
   const auto engine_big =
       analysis::engine_from_string(cli.get_string("engine", "batched"));
+  const auto json_path = cli.get_string("json", "");
+
+  obs::Report report("e1_graphical", 8);
+  report.set("n", static_cast<std::uint64_t>(n))
+      .set("r", static_cast<std::uint64_t>(r))
+      .set("trials", static_cast<std::uint64_t>(trials));
 
   analysis::print_banner(
       "E1 (extension: graphical populations, cf. §2)",
@@ -158,6 +167,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"graph", "edges", "epidemic(par.time)",
                      "stabilize(par.time)", "stab fails"});
+  auto graph_rows = util::Json::array();
   for (const auto& [name, graph] : graphs) {
     const auto epi =
         analysis::parallel_sweep(seed, trials, [&](std::uint64_t s) {
@@ -172,7 +182,16 @@ int main(int argc, char** argv) {
                    stab.samples.empty() ? "-"
                                         : util::fmt(stab.summary.mean / n, 1),
                    util::fmt_int(static_cast<long long>(stab.failures))});
+    auto row = util::Json::object();
+    row.set("graph", name);
+    row.set("edges", static_cast<std::uint64_t>(graph.edges()));
+    row.set("epidemic_mean_interactions", epi.summary.mean);
+    row.set("stabilize_mean_interactions",
+            stab.samples.empty() ? -1.0 : stab.summary.mean);
+    row.set("stabilize_failures", static_cast<std::uint64_t>(stab.failures));
+    graph_rows.push(std::move(row));
   }
+  report.section("conductance", std::move(graph_rows));
   table.print(std::cout);
   table.print_csv(std::cout);
   std::cout << "\nn=" << n << " r=" << r
@@ -192,6 +211,7 @@ int main(int argc, char** argv) {
       {"bully/star", pp::Graph::star(n)},
       {"bully/ring", pp::Graph::cycle(n)},
   };
+  auto bully_rows = util::Json::array();
   for (const auto& [name, graph] : scenarios) {
     const auto elect =
         analysis::parallel_sweep(seed + 7, trials, [&](std::uint64_t s) {
@@ -204,7 +224,13 @@ int main(int argc, char** argv) {
     bully.add_row({name, name.substr(name.find('/') + 1),
                    util::fmt(elect.summary.mean / n, 1),
                    util::fmt(epi.summary.mean / n, 1)});
+    auto row = util::Json::object();
+    row.set("scenario", name);
+    row.set("election_mean_interactions", elect.summary.mean);
+    row.set("epidemic_mean_interactions", epi.summary.mean);
+    bully_rows.push(std::move(row));
   }
+  report.section("bully_election", std::move(bully_rows));
   bully.print(std::cout);
   bully.print_csv(std::cout);
   std::cout << "Electing a maximum is spreading it — but a leader dies as "
@@ -226,6 +252,7 @@ int main(int argc, char** argv) {
   }
   util::Table big({"topology", "engine", "n", "interactions", "/(n ln n)",
                    "wall_s"});
+  auto scale_rows = util::Json::array();
   for (const std::string& spec : specs) {
     const auto topology = analysis::topology_from_string(spec);
     struct Row {
@@ -253,6 +280,14 @@ int main(int argc, char** argv) {
                                    2)
                        : "-",
                    util::fmt(wall, 2)});
+      auto jrow = util::Json::object();
+      jrow.set("topology", spec);
+      jrow.set("engine", analysis::engine_name(row.engine));
+      jrow.set("n", row.n);
+      jrow.set("converged", res.converged);
+      jrow.set("interactions", res.interactions);
+      jrow.set("wall_s", wall);
+      scale_rows.push(std::move(jrow));
     }
   }
   big.print(std::cout);
@@ -261,5 +296,7 @@ int main(int argc, char** argv) {
                "n ln n while the cut weight stays bounded; the lumped "
                "engine is the only exact engine at n beyond edge-list "
                "feasibility.\n";
+  report.section("blocked_scale", std::move(scale_rows));
+  report.write_if(json_path, std::cout);
   return 0;
 }

@@ -3,12 +3,21 @@
 // at a steady rate while ElectLeader_r runs; we measure the fraction of
 // time a unique leader is present and the fraction of time the
 // configuration is provably safe, as a function of fault rate.
+//
+//   --json=<path>     structured results (obs::Report envelope)
+//   --journal=<path>  JSONL heartbeats from inside the churn loop
+//                     (obs::Journal; "-" for stderr)
 #include <iostream>
+#include <memory>
+#include <utility>
 
 #include "analysis/churn.hpp"
 #include "analysis/experiment.hpp"
 #include "analysis/measure.hpp"
+#include "obs/journal.hpp"
+#include "obs/report.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -17,6 +26,8 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 32));
   const auto r = static_cast<std::uint32_t>(cli.get_int("r", 8));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 130));
+  const auto json_path = cli.get_string("json", "");
+  const auto journal_path = cli.get_string("journal", "");
 
   analysis::print_banner(
       "E2 (extension: availability under churn)",
@@ -27,6 +38,23 @@ int main(int argc, char** argv) {
 
   const core::Params params = core::Params::make(n, r);
   const std::uint64_t recovery_scale = analysis::default_budget(params) / 20;
+
+  // One journal across all churn points ("-" = the Journal's stderr sink);
+  // the per-point boundary events make the JSONL self-describing.
+  std::unique_ptr<obs::Journal> journal;
+  if (cli.has("journal")) {
+    obs::Journal::Options jopts;
+    jopts.path = journal_path == "-" ? "" : journal_path;
+    jopts.every_interactions = 16 * static_cast<std::uint64_t>(n);
+    jopts.run = "e2_churn";
+    journal = std::make_unique<obs::Journal>(std::move(jopts));
+  }
+
+  obs::Report doc("e2_churn", 8);
+  doc.set("n", static_cast<std::uint64_t>(n))
+      .set("r", static_cast<std::uint64_t>(r))
+      .set("horizon", 400 * recovery_scale);
+  auto rows = util::Json::array();
 
   util::Table table({"burst period (interactions)", "burst size",
                      "corrupted total", "leader avail %", "safe %"});
@@ -48,6 +76,13 @@ int main(int argc, char** argv) {
     spec.burst_size = point.size;
     spec.horizon = 400 * recovery_scale;
     spec.probe_every = n;
+    spec.journal = journal.get();
+    if (journal) {
+      auto boundary = util::Json::object();
+      boundary.set("burst_period", point.period);
+      boundary.set("burst_size", static_cast<std::uint64_t>(point.size));
+      journal->event("churn_point", std::move(boundary));
+    }
     const auto report = analysis::run_churn(params, spec, seed);
     table.add_row(
         {point.period == 0 ? "none" : util::fmt_int(
@@ -56,11 +91,20 @@ int main(int argc, char** argv) {
          util::fmt_int(static_cast<long long>(report.agents_corrupted)),
          util::fmt(100.0 * report.leader_availability(), 1),
          util::fmt(100.0 * report.safe_availability(), 1)});
+    auto row = util::Json::object();
+    row.set("burst_period", point.period);
+    row.set("burst_size", static_cast<std::uint64_t>(point.size));
+    row.set("agents_corrupted", report.agents_corrupted);
+    row.set("leader_availability", report.leader_availability());
+    row.set("safe_availability", report.safe_availability());
+    rows.push(std::move(row));
   }
   table.print(std::cout);
   table.print_csv(std::cout);
   std::cout << "\nn=" << n << " r=" << r << ", horizon="
             << 400 * recovery_scale << " interactions; faults are full "
             << "state randomizations of random agents.\n";
+  doc.section("availability", std::move(rows));
+  doc.write_if(json_path, std::cout);
   return 0;
 }

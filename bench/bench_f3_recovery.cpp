@@ -20,13 +20,17 @@
 //                            dispatch in analysis::stabilize: blocked
 //                            topologies run the lumped community engine
 //                            on --engine=batched; ring is naive-only)
+//   --json=<path>            structured results (obs::Report envelope)
 #include <iostream>
+#include <utility>
 
 #include "analysis/experiment.hpp"
 #include "analysis/measure.hpp"
 #include "core/adversary.hpp"
 #include "core/params.hpp"
+#include "obs/report.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
       cli.get_string("mult", "faithful"));
   const auto topology = analysis::topology_from_string(
       cli.get_string("topology", "complete"));
+  const auto json_path = cli.get_string("json", "");
 
   analysis::print_banner(
       "F3 (Lemma 6.3 recovery)",
@@ -78,6 +83,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  obs::Report report("f3_recovery", 8);
+  report.set("n", static_cast<std::uint64_t>(n))
+      .set("r", static_cast<std::uint64_t>(r))
+      .set("trials", static_cast<std::uint64_t>(trials))
+      .set("engine", analysis::engine_name(engine))
+      .set("start", analysis::start_name(start))
+      .set("mult", analysis::multiplicity_name(mult))
+      .set("topology", analysis::topology_name(topology))
+      .set("budget", budget);
+  auto rows = util::Json::array();
+
   util::Table table({"class", "recov.interactions(mean)", "ci95", "par.time",
                      "p90", "fails"});
   for (const auto corruption : classes) {
@@ -88,14 +104,22 @@ int main(int argc, char** argv) {
                                                topology);
           return run.converged ? static_cast<double>(run.interactions) : -1.0;
         }, jobs);
-    table.add_row({start == analysis::StartKind::kClean
-                       ? "clean"
-                       : core::corruption_name(corruption),
+    const std::string label = start == analysis::StartKind::kClean
+                                  ? "clean"
+                                  : core::corruption_name(corruption);
+    table.add_row({label,
                    util::fmt(result.summary.mean, 0),
                    util::fmt(util::ci95_halfwidth(result.summary), 0),
                    util::fmt(result.summary.mean / n, 1),
                    util::fmt(result.summary.p90, 0),
                    util::fmt_int(static_cast<long long>(result.failures))});
+    auto row = util::Json::object();
+    row.set("class", label);
+    row.set("mean_interactions", result.summary.mean);
+    row.set("ci95", util::ci95_halfwidth(result.summary));
+    row.set("p90", result.summary.p90);
+    row.set("failures", static_cast<std::uint64_t>(result.failures));
+    rows.push(std::move(row));
   }
   table.print(std::cout);
   table.print_csv(std::cout);
@@ -105,5 +129,7 @@ int main(int argc, char** argv) {
             << " mult=" << analysis::multiplicity_name(mult)
             << " topology=" << analysis::topology_name(topology)
             << "  (budget per trial: " << budget << " interactions)\n";
+  report.section("recovery", std::move(rows));
+  report.write_if(json_path, std::cout);
   return 0;
 }

@@ -60,6 +60,15 @@
 //       bench_e1_graphical is the wall-clock story), so --gate-perf gates
 //       the law band, not the wall clock.
 //
+//   [8] Observability overhead — the PR-8 gate.  The memoized epidemic
+//       workload of section 5 run twice with identical chunked stepping:
+//       plain, and with a metrics()+Journal::tick probe per chunk (the
+//       heartbeat sink is /dev/null unless --json is set).  The engine
+//       counters themselves are always-on in both runs; what this gates is
+//       the cost of *reading* them — the snapshot + journal layer must
+//       stay under 3% on the hottest path (--gate-perf turns a breach into
+//       a nonzero exit).
+//
 //   --n=64 --trials=8 --seed=7 --jobs=0 (0 = all cores)
 //   --ncross=1024 --cross-trials=1 --nbig=1000000
 //   --nfen=100000 --fen-interactions=1000000
@@ -76,6 +85,9 @@
 #include "core/adversary.hpp"
 #include "core/derandomized.hpp"
 #include "core/params.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "pp/batched_simulator.hpp"
 #include "pp/epidemic.hpp"
 #include "pp/simulator.hpp"
@@ -141,9 +153,7 @@ int main(int argc, char** argv) {
   const auto json_path = cli.get_string("json", "");
   const bool gate_perf = cli.has("gate-perf");
 
-  auto doc = util::Json::object();
-  doc.set("bench", "parallel_sweep");
-  doc.set("pr", 7);
+  obs::Report report("parallel_sweep", 8);
 
   analysis::print_banner(
       "PS (parallel sweep runner)",
@@ -195,7 +205,7 @@ int main(int argc, char** argv) {
     s1.set("bit_identical", ok);
     s1.set("serial_wall_s", serial_s);
     s1.set("parallel_wall_s", wide_s);
-    doc.set("determinism", std::move(s1));
+    report.section("determinism", std::move(s1));
   }
 
   // [2] Naive vs batched engine on the same measurement.
@@ -237,7 +247,7 @@ int main(int argc, char** argv) {
     s2.set("n", static_cast<std::uint64_t>(ncross));
     s2.set("naive_wall_s", naive_s);
     s2.set("batched_wall_s", batched_s);
-    doc.set("cross_engine", std::move(s2));
+    report.section("cross_engine", std::move(s2));
   }
 
   // [3] A paper sweep point at n >= 10^6: Lemma A.2 epidemic, batched.
@@ -278,7 +288,7 @@ int main(int argc, char** argv) {
     s3.set("failures", static_cast<std::uint64_t>(res.failures));
     s3.set("bound_held", res.failures == 0 && res.summary.max < bound);
     s3.set("wall_s", wall);
-    doc.set("epidemic_scale", std::move(s3));
+    report.section("epidemic_scale", std::move(s3));
     batched_epi_summary = res.summary;
     batched_epi_wall_s = wall;
   }
@@ -353,7 +363,7 @@ int main(int argc, char** argv) {
     s4.set("naive_wall_s", naive_s);
     s4.set("batched_dense_wall_s", dense_s);
     s4.set("batched_fenwick_wall_s", fenwick_s);
-    doc.set("fenwick_q_eq_n", std::move(s4));
+    report.section("fenwick_q_eq_n", std::move(s4));
   }
 
   // [5] Interned-state engine + memoized δ-cache at q ≈ n: the A/B this
@@ -516,7 +526,7 @@ int main(int argc, char** argv) {
     s5.set("epidemic_uncached_wall_s", epi_uncached_s);
     s5.set("epidemic_memoized_wall_s", epi_cached_s);
     s5.set("epidemic_gate_ok", gate_ok);
-    doc.set("interned_memoized", std::move(s5));
+    report.section("interned_memoized", std::move(s5));
   }
 
   // [6] Pair-type leap engine: the same Lemma A.2 measurement as section
@@ -608,7 +618,7 @@ int main(int argc, char** argv) {
     s6.set("headline_converged", head.converged);
     s6.set("headline_bound_held", head_ok);
     s6.set("headline_wall_s", head_wall);
-    doc.set("leap_engine", std::move(s6));
+    report.section("leap_engine", std::move(s6));
   }
 
   // [7] Community lumping: the naive agent-array engine under
@@ -681,20 +691,80 @@ int main(int argc, char** argv) {
     s7.set("naive_wall_s", naive_wall);
     s7.set("lumped_wall_s", lumped_wall);
     s7.set("law_gate_ok", comm_gate_ok);
-    doc.set("community_lumping", std::move(s7));
+    report.section("community_lumping", std::move(s7));
   }
 
-  if (!json_path.empty()) {
-    util::write_json_file(json_path, doc);
-    std::cout << "\nstructured results written to " << json_path << "\n";
+  // [8] Observability overhead: the memoized epidemic path of section 5,
+  // plain vs observed.  Both runs step in identical chunks (so the engine
+  // work is the same machine code either way); the observed run adds what
+  // the journal layer actually costs per probe — an EngineMetrics snapshot
+  // and a Journal::tick (which only *emits* when its interaction gate
+  // passes).  min-of-3, alternating, same slack form as the other gates.
+  bool obs_gate_ok = true;
+  {
+    pp::Epidemic eproto{nmem};
+    const std::uint64_t epi_work = 50 * static_cast<std::uint64_t>(nmem);
+    const std::uint64_t chunk = nmem;
+    const std::string sink =
+        json_path.empty() ? "/dev/null" : json_path + ".journal.jsonl";
+
+    obs::EngineMetrics observed_metrics;
+    const auto epidemic_wall = [&](bool observed) {
+      pp::BatchedSimulator<pp::Epidemic> bsim(
+          eproto, seed + 8000, pp::BlockSampling::kDense,
+          pp::DeltaMemo::kEnabled);
+      obs::Journal::Options jopts;
+      jopts.path = sink;
+      jopts.every_interactions = epi_work / 4;
+      jopts.budget = epi_work;
+      jopts.run = "parallel_sweep_s8";
+      obs::Journal journal(jopts);
+      const auto start_t = Clock::now();
+      for (std::uint64_t done = 0; done < epi_work; done += chunk) {
+        bsim.step(std::min<std::uint64_t>(chunk, epi_work - done));
+        if (observed) journal.tick(bsim.interactions(), bsim.metrics());
+      }
+      const double w = seconds_since(start_t);
+      if (observed) observed_metrics = bsim.metrics();
+      return w;
+    };
+    double plain_s = 1e300, observed_s = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      plain_s = std::min(plain_s, epidemic_wall(false));
+      observed_s = std::min(observed_s, epidemic_wall(true));
+    }
+    obs_gate_ok = observed_s <= 1.03 * plain_s + 0.02;
+    const double ratio = plain_s > 0 ? observed_s / plain_s : 0.0;
+    std::cout << "\n[8] Observability overhead (memoized epidemic n=" << nmem
+              << ", " << epi_work << " interactions, " << epi_work / chunk
+              << " probes): plain " << util::fmt(plain_s, 3)
+              << "s vs observed " << util::fmt(observed_s, 3) << "s (ratio "
+              << util::fmt(ratio, 3) << ") — "
+              << (obs_gate_ok ? "PASS (< 3% + 20ms slack)"
+                              : "FAIL (metrics layer too hot)")
+              << "\n";
+
+    auto s8 = util::Json::object();
+    s8.set("n", static_cast<std::uint64_t>(nmem));
+    s8.set("interactions", epi_work);
+    s8.set("plain_wall_s", plain_s);
+    s8.set("observed_wall_s", observed_s);
+    s8.set("overhead_ratio", ratio);
+    s8.set("gate_ok", obs_gate_ok);
+    s8.set("final_metrics", observed_metrics.to_json());
+    report.section("observability_overhead", std::move(s8));
   }
+
+  report.write_if(json_path, std::cout);
 
   // The determinism check is this binary's reason to exist — fail loudly
   // (CI runs it on every push).  --gate-perf additionally fails the run
   // when the memoized engine regresses on the epidemic workload, the leap
-  // engine loses law or wall-clock parity with the batched engine, or the
-  // lumped community engine drifts from the naive blocked-scheduler law.
-  return (ok && (!gate_perf || (gate_ok && leap_gate_ok && comm_gate_ok)))
+  // engine loses law or wall-clock parity with the batched engine, the
+  // lumped community engine drifts from the naive blocked-scheduler law,
+  // or the observability layer costs more than 3% on the hottest path.
+  return (ok && (!gate_perf ||
+                 (gate_ok && leap_gate_ok && comm_gate_ok && obs_gate_ok)))
              ? 0
              : 1;
 }

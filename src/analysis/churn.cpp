@@ -2,6 +2,7 @@
 
 #include "core/elect_leader.hpp"
 #include "core/safety.hpp"
+#include "obs/journal.hpp"
 #include "pp/scheduler.hpp"
 
 namespace ssle::analysis {
@@ -37,6 +38,15 @@ ChurnReport run_churn(const core::Params& params, const ChurnSpec& spec,
           core::leader_count(config) == 1 ? 1 : 0;
       report.probes_safe +=
           core::is_safe_configuration(params, config) ? 1 : 0;
+      if (spec.journal != nullptr) {
+        // The churn loop drives agents directly (no Simulator), so it
+        // reports the naive engine's counter shape itself.
+        obs::EngineMetrics m;
+        m.engine = "naive";
+        m.interactions = t;
+        m.interactions_iterated = t;
+        spec.journal->tick(t, m);
+      }
     }
   }
   return report;

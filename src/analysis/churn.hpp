@@ -9,6 +9,10 @@
 #include "core/adversary.hpp"
 #include "core/params.hpp"
 
+namespace ssle::obs {
+class Journal;
+}  // namespace ssle::obs
+
 namespace ssle::analysis {
 
 struct ChurnSpec {
@@ -20,6 +24,9 @@ struct ChurnSpec {
   std::uint64_t horizon = 0;
   /// Interactions between availability probes.
   std::uint64_t probe_every = 0;
+  /// Optional run journal (obs/journal.hpp): a heartbeat per probe, so
+  /// long soak runs are observable while they churn.
+  obs::Journal* journal = nullptr;
 };
 
 struct ChurnReport {

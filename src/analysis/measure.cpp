@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <utility>
 
+#include "analysis/trace.hpp"
 #include "core/derandomized.hpp"
 #include "core/safety.hpp"
+#include "obs/journal.hpp"
 #include "pp/batched_simulator.hpp"
 #include "pp/community_counts.hpp"
 #include "pp/epidemic.hpp"
@@ -27,23 +29,28 @@ std::uint64_t default_budget(const core::Params& params) {
 StabilizationResult stabilize_from(const core::Params& params,
                                    std::vector<core::Agent> config,
                                    std::uint64_t seed,
-                                   std::uint64_t max_interactions) {
+                                   std::uint64_t max_interactions,
+                                   const ProbeOptions& probes) {
   core::ElectLeader protocol(params);
   pp::Population<core::ElectLeader> population(std::move(config));
   pp::Simulator<core::ElectLeader> sim(protocol, std::move(population), seed);
 
   const auto probe = [&](const pp::Population<core::ElectLeader>& pop,
-                         std::uint64_t) {
+                         std::uint64_t t) {
+    if (probes.trace) probes.trace->record(t, pop.states());
+    if (probes.journal) probes.journal->tick(t, sim.metrics());
     return core::is_safe_configuration(params, pop.states());
   };
-  const auto run = sim.run_until(probe, max_interactions,
-                                 /*probe_every=*/params.n);
+  const auto run =
+      sim.run_until(probe, max_interactions,
+                    probes.probe_every ? probes.probe_every : params.n);
 
   StabilizationResult res;
   res.converged = run.converged;
   res.interactions = run.interactions;
   res.parallel_time = run.parallel_time(params.n);
   res.leaders = core::leader_count(sim.population().states());
+  res.metrics = sim.metrics();
   return res;
 }
 
@@ -54,17 +61,20 @@ namespace {
 StabilizationResult stabilize_counts_from(
     const core::Params& params,
     pp::CountsConfiguration<core::ElectLeader> config, std::uint64_t seed,
-    std::uint64_t max_interactions) {
+    std::uint64_t max_interactions, const ProbeOptions& probes) {
   core::ElectLeader protocol(params);
   pp::BatchedSimulator<core::ElectLeader> sim(protocol, std::move(config),
                                               seed);
 
   const auto probe = [&](const pp::CountsConfiguration<core::ElectLeader>& c,
-                         std::uint64_t) {
+                         std::uint64_t t) {
+    if (probes.trace) probes.trace->record(t, c);
+    if (probes.journal) probes.journal->tick(t, sim.metrics());
     return core::is_safe_configuration(params, c);
   };
-  const auto run = sim.run_until(probe, max_interactions,
-                                 /*probe_every=*/params.n);
+  const auto run =
+      sim.run_until(probe, max_interactions,
+                    probes.probe_every ? probes.probe_every : params.n);
 
   StabilizationResult res;
   res.converged = run.converged;
@@ -72,6 +82,7 @@ StabilizationResult stabilize_counts_from(
   res.parallel_time = run.parallel_time(params.n);
   res.leaders = static_cast<std::uint32_t>(
       sim.config().count_if(core::ElectLeader::is_leader));
+  res.metrics = sim.metrics();
   return res;
 }
 
@@ -91,11 +102,12 @@ std::vector<core::Agent> clean_config(const core::Params& params) {
 StabilizationResult stabilize(Engine engine, StartKind start,
                               const core::Params& params,
                               core::Corruption corruption, std::uint64_t seed,
-                              std::uint64_t max_interactions) {
+                              std::uint64_t max_interactions,
+                              const ProbeOptions& probes) {
   if (start == StartKind::kClean) {
     if (engine == Engine::kNaive) {
       return stabilize_from(params, clean_config(params), seed,
-                            max_interactions);
+                            max_interactions, probes);
     }
     // kBatched and kLeaping both take the counts path: ElectLeader_r draws
     // randomness in δ, so it is not leap-eligible (pp::LeapEligible) and a
@@ -104,7 +116,7 @@ StabilizationResult stabilize(Engine engine, StartKind start,
     core::ElectLeader protocol(params);
     return stabilize_counts_from(
         params, pp::CountsConfiguration<core::ElectLeader>(protocol), seed,
-        max_interactions);
+        max_interactions, probes);
   }
 
   // Adversarial start: both engines draw the same configuration from the
@@ -114,14 +126,15 @@ StabilizationResult stabilize(Engine engine, StartKind start,
   util::Rng rng(util::substream(seed, 77));
   auto config = core::make_adversarial_config(params, corruption, rng);
   if (engine == Engine::kNaive) {
-    return stabilize_from(params, std::move(config), seed, max_interactions);
+    return stabilize_from(params, std::move(config), seed, max_interactions,
+                          probes);
   }
   // Project the per-agent array onto state counts; only the multiset
   // survives into the simulation (any agent labelling is dynamics-
   // equivalent under the uniform scheduler).
   pp::CountsConfiguration<core::ElectLeader> counts(config);
   return stabilize_counts_from(params, std::move(counts), seed,
-                               max_interactions);
+                               max_interactions, probes);
 }
 
 StabilizationResult stabilize(Engine engine, const core::Params& params,
@@ -140,24 +153,29 @@ template <typename Sched>
 StabilizationResult stabilize_population(const core::Params& params,
                                          std::vector<core::Agent> config,
                                          Sched scheduler, std::uint64_t seed,
-                                         std::uint64_t max_interactions) {
+                                         std::uint64_t max_interactions,
+                                         const ProbeOptions& probes) {
   core::ElectLeader protocol(params);
   pp::Population<core::ElectLeader> population(std::move(config));
   pp::Simulator<core::ElectLeader, Sched> sim(
       protocol, std::move(population), std::move(scheduler), seed);
 
   const auto probe = [&](const pp::Population<core::ElectLeader>& pop,
-                         std::uint64_t) {
+                         std::uint64_t t) {
+    if (probes.trace) probes.trace->record(t, pop.states());
+    if (probes.journal) probes.journal->tick(t, sim.metrics());
     return core::is_safe_configuration(params, pop.states());
   };
-  const auto run = sim.run_until(probe, max_interactions,
-                                 /*probe_every=*/params.n);
+  const auto run =
+      sim.run_until(probe, max_interactions,
+                    probes.probe_every ? probes.probe_every : params.n);
 
   StabilizationResult res;
   res.converged = run.converged;
   res.interactions = run.interactions;
   res.parallel_time = run.parallel_time(params.n);
   res.leaders = core::leader_count(sim.population().states());
+  res.metrics = sim.metrics();
   return res;
 }
 
@@ -165,30 +183,29 @@ StabilizationResult stabilize_population(const core::Params& params,
 /// community path over (community, state) counts.  The safe predicate is a
 /// property of the state *multiset* (leader uniqueness, verifier roles,
 /// message-system consistency — none of it community-dependent), so the
-/// probe expands the marginal counts to an agent array and reuses the
-/// canonical core::is_safe_configuration, exactly like the naive probe.
+/// probe uses the community-counts overload of core::is_safe_configuration
+/// directly: O(q) multiset pre-checks per probe, expansion only once they
+/// pass — exactly mirroring the uniform counts probe.
 StabilizationResult stabilize_community_from(
     const core::Params& params,
     pp::CommunityCountsConfiguration<core::ElectLeader> config,
-    std::uint64_t seed, std::uint64_t max_interactions) {
+    std::uint64_t seed, std::uint64_t max_interactions,
+    const ProbeOptions& probes) {
   core::ElectLeader protocol(params);
   pp::BatchedSimulator<core::ElectLeader,
                        pp::CommunityCountsConfiguration<core::ElectLeader>>
       sim(protocol, std::move(config), seed);
 
-  std::vector<core::Agent> agents;
   const auto probe =
       [&](const pp::CommunityCountsConfiguration<core::ElectLeader>& c,
-          std::uint64_t) {
-        agents.clear();
-        agents.reserve(params.n);
-        c.for_each([&](const core::Agent& s, std::uint64_t cnt) {
-          for (std::uint64_t i = 0; i < cnt; ++i) agents.push_back(s);
-        });
-        return core::is_safe_configuration(params, agents);
+          std::uint64_t t) {
+        if (probes.trace) probes.trace->record(t, c);
+        if (probes.journal) probes.journal->tick(t, sim.metrics());
+        return core::is_safe_configuration(params, c);
       };
-  const auto run = sim.run_until(probe, max_interactions,
-                                 /*probe_every=*/params.n);
+  const auto run =
+      sim.run_until(probe, max_interactions,
+                    probes.probe_every ? probes.probe_every : params.n);
 
   StabilizationResult res;
   res.converged = run.converged;
@@ -196,6 +213,7 @@ StabilizationResult stabilize_community_from(
   res.parallel_time = run.parallel_time(params.n);
   res.leaders = static_cast<std::uint32_t>(
       sim.config().count_if(core::ElectLeader::is_leader));
+  res.metrics = sim.metrics();
   return res;
 }
 
@@ -231,11 +249,12 @@ StabilizationResult stabilize(Engine engine, StartKind start,
                               const core::Params& params,
                               core::Corruption corruption, std::uint64_t seed,
                               std::uint64_t max_interactions,
-                              const Topology& topology) {
+                              const Topology& topology,
+                              const ProbeOptions& probes) {
   if (topology.kind == Topology::Kind::kComplete) {
     // The classical model: the uniform paths, byte-for-byte.
-    return stabilize(engine, start, params, corruption, seed,
-                     max_interactions);
+    return stabilize(engine, start, params, corruption, seed, max_interactions,
+                     probes);
   }
   engine = route_topology_engine(engine, topology);
 
@@ -255,7 +274,7 @@ StabilizationResult stabilize(Engine engine, StartKind start,
         params, std::move(config),
         pp::GraphScheduler(pp::Graph::cycle(params.n),
                            util::substream(seed, 1)),
-        seed, max_interactions);
+        seed, max_interactions, probes);
   }
 
   pp::BlockedTopology blocked = blocked_topology(topology, params.n);
@@ -263,7 +282,7 @@ StabilizationResult stabilize(Engine engine, StartKind start,
     return stabilize_population(
         params, std::move(config),
         pp::BlockedScheduler(std::move(blocked), util::substream(seed, 1)),
-        seed, max_interactions);
+        seed, max_interactions, probes);
   }
   // kBatched and kLeaping: the lumped community engine (leaping has no
   // community leap path; same nearest-exact-engine routing as for
@@ -271,7 +290,7 @@ StabilizationResult stabilize(Engine engine, StartKind start,
   pp::CommunityCountsConfiguration<core::ElectLeader> counts(
       config, std::move(blocked));
   return stabilize_community_from(params, std::move(counts), seed,
-                                  max_interactions);
+                                  max_interactions, probes);
 }
 
 namespace {
@@ -332,6 +351,7 @@ StabilizationResult stabilize_derandomized(Engine engine,
       res.leaders += core::DerandomizedElectLeader::is_leader(
           sim.population()[i]);
     }
+    res.metrics = sim.metrics();
     return res;
   }
 
@@ -351,6 +371,7 @@ StabilizationResult stabilize_derandomized(Engine engine,
   res.parallel_time = run.parallel_time(params.n);
   res.leaders = static_cast<std::uint32_t>(
       sim.config().count_if(core::DerandomizedElectLeader::is_leader));
+  res.metrics = sim.metrics();
   return res;
 }
 
@@ -520,7 +541,8 @@ pp::CountsConfiguration<pp::Epidemic> epidemic_counts(std::uint64_t n) {
 pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions,
-                                   std::uint64_t probe_every) {
+                                   std::uint64_t probe_every,
+                                   obs::Journal* journal) {
   if (n < 2) return {0, true};
   if (max_interactions == 0) max_interactions = epidemic_budget(n);
   // The protocol object's n is only consulted when an engine builds the
@@ -528,7 +550,11 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
   // pre-built, so clamping to uint32 range is harmless bookkeeping.
   const pp::Epidemic protocol{
       static_cast<std::uint32_t>(std::min<std::uint64_t>(n, 0xffffffffull))};
-  const auto all_infected = [](const auto& config, std::uint64_t) {
+  // Per-engine probe: heartbeat (when journaled), then the convergence
+  // check.  `sim` is the engine the lambda is used with.
+  const auto all_infected = [&](const auto& sim, const auto& config,
+                                std::uint64_t t) {
+    if (journal) journal->tick(t, sim.metrics());
     return config.count_of(0) == 0;
   };
   switch (engine) {
@@ -543,7 +569,8 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
       }
       pp::Simulator<pp::Epidemic> sim(protocol, seed);
       return sim.run_until(
-          [](const pp::Population<pp::Epidemic>& pop, std::uint64_t) {
+          [&](const pp::Population<pp::Epidemic>& pop, std::uint64_t t) {
+            if (journal) journal->tick(t, sim.metrics());
             for (std::uint32_t i = 0; i < pop.size(); ++i) {
               if (pop[i] == 0) return false;
             }
@@ -554,12 +581,20 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
     case Engine::kBatched: {
       pp::BatchedSimulator<pp::Epidemic> sim(protocol, epidemic_counts(n),
                                              seed);
-      return sim.run_until(all_infected, max_interactions, probe_every);
+      return sim.run_until(
+          [&](const pp::CountsConfiguration<pp::Epidemic>& c, std::uint64_t t) {
+            return all_infected(sim, c, t);
+          },
+          max_interactions, probe_every);
     }
     case Engine::kLeaping: {
       pp::LeapingSimulator<pp::Epidemic> sim(protocol, epidemic_counts(n),
                                              seed);
-      return sim.run_until(all_infected, max_interactions, probe_every);
+      return sim.run_until(
+          [&](const pp::CountsConfiguration<pp::Epidemic>& c, std::uint64_t t) {
+            return all_infected(sim, c, t);
+          },
+          max_interactions, probe_every);
     }
   }
   return {0, false};
@@ -569,10 +604,11 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions,
                                    std::uint64_t probe_every,
-                                   const Topology& topology) {
+                                   const Topology& topology,
+                                   obs::Journal* journal) {
   if (topology.kind == Topology::Kind::kComplete) {
-    return epidemic_convergence(engine, n, seed, max_interactions,
-                                probe_every);
+    return epidemic_convergence(engine, n, seed, max_interactions, probe_every,
+                                journal);
   }
   if (n < 2) return {0, true};
   engine = route_topology_engine(engine, topology);
@@ -599,7 +635,8 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
                            util::substream(seed, 1)),
         seed);
     return sim.run_until(
-        [](const pp::Population<pp::Epidemic>& pop, std::uint64_t) {
+        [&](const pp::Population<pp::Epidemic>& pop, std::uint64_t t) {
+          if (journal) journal->tick(t, sim.metrics());
           for (std::uint32_t i = 0; i < pop.size(); ++i) {
             if (pop[i] == 0) return false;
           }
@@ -613,9 +650,6 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
   // but each crossing is a one-time event against a Θ(n log n) backbone.
   if (max_interactions == 0) max_interactions = 8 * epidemic_budget(n);
   pp::BlockedTopology blocked = blocked_topology(topology, n);
-  const auto all_infected = [](const auto& config, std::uint64_t) {
-    return config.count_of(0) == 0;
-  };
   if (engine == Engine::kNaive) {
     if (n > 0xffffffffull) {
       no_engine_for_topology(topology, n,
@@ -629,7 +663,8 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
         pp::BlockedScheduler(std::move(blocked), util::substream(seed, 1)),
         seed);
     return sim.run_until(
-        [](const pp::Population<pp::Epidemic>& pop, std::uint64_t) {
+        [&](const pp::Population<pp::Epidemic>& pop, std::uint64_t t) {
+          if (journal) journal->tick(t, sim.metrics());
           for (std::uint32_t i = 0; i < pop.size(); ++i) {
             if (pop[i] == 0) return false;
           }
@@ -649,7 +684,13 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
   pp::BatchedSimulator<pp::Epidemic,
                        pp::CommunityCountsConfiguration<pp::Epidemic>>
       sim(protocol, std::move(counts), seed);
-  return sim.run_until(all_infected, max_interactions, probe_every);
+  return sim.run_until(
+      [&](const pp::CommunityCountsConfiguration<pp::Epidemic>& c,
+          std::uint64_t t) {
+        if (journal) journal->tick(t, sim.metrics());
+        return c.count_of(0) == 0;
+      },
+      max_interactions, probe_every);
 }
 
 core::MessageMultiplicity multiplicity_from_string(const std::string& name) {

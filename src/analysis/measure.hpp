@@ -21,16 +21,39 @@
 #include "core/agent.hpp"
 #include "core/elect_leader.hpp"
 #include "core/params.hpp"
+#include "obs/metrics.hpp"
 #include "pp/graph.hpp"
 #include "pp/simulator.hpp"
 
+namespace ssle::obs {
+class Journal;
+}  // namespace ssle::obs
+
 namespace ssle::analysis {
+
+class Trace;
 
 struct StabilizationResult {
   bool converged = false;
   std::uint64_t interactions = 0;
   double parallel_time = 0.0;
   std::uint32_t leaders = 0;  ///< leader count at the end
+  /// Engine counter snapshot at the end of the run (obs/metrics.hpp):
+  /// which engine actually ran (after routing), and what it did.
+  obs::EngineMetrics metrics;
+};
+
+/// Observability hooks for stabilize(): evaluated at the same probe grid as
+/// the safe predicate, on whichever engine the request routes to.  The
+/// trace records a counts-native census + safety flag per probe (O(q) while
+/// the run is unsafe — affordable at n = 10^6+ on the counts engines); the
+/// journal emits heartbeat events with the engine's live counters.  Both
+/// are optional and may be combined; `probe_every` of 0 keeps the engines'
+/// default probe grid (n interactions).
+struct ProbeOptions {
+  Trace* trace = nullptr;
+  obs::Journal* journal = nullptr;
+  std::uint64_t probe_every = 0;
 };
 
 /// Which simulation engine a measurement should run on.
@@ -135,7 +158,8 @@ const char* multiplicity_name(core::MessageMultiplicity mult);
 StabilizationResult stabilize(Engine engine, StartKind start,
                               const core::Params& params,
                               core::Corruption corruption, std::uint64_t seed,
-                              std::uint64_t max_interactions);
+                              std::uint64_t max_interactions,
+                              const ProbeOptions& probes = {});
 
 /// Clean-start convenience overload.  Deliberately takes no StartKind:
 /// an adversarial measurement must name its corruption class, so there
@@ -157,7 +181,8 @@ StabilizationResult stabilize(Engine engine, StartKind start,
                               const core::Params& params,
                               core::Corruption corruption, std::uint64_t seed,
                               std::uint64_t max_interactions,
-                              const Topology& topology);
+                              const Topology& topology,
+                              const ProbeOptions& probes = {});
 
 /// Runs core::DerandomizedElectLeader (paper App. B: ElectLeader_r with a
 /// *deterministic* transition function) from a clean start on the chosen
@@ -177,7 +202,8 @@ StabilizationResult stabilize_derandomized(Engine engine,
 StabilizationResult stabilize_from(const core::Params& params,
                                    std::vector<core::Agent> config,
                                    std::uint64_t seed,
-                                   std::uint64_t max_interactions);
+                                   std::uint64_t max_interactions,
+                                   const ProbeOptions& probes = {});
 
 /// A generous default interaction budget for (n, r):
 /// c · (n²/r) · log n, scaled to dominate the protocol's constants.
@@ -194,10 +220,14 @@ std::uint64_t default_budget(const core::Params& params);
 /// means the standard 64 · n · ⌈log2 n⌉ epidemic budget; `probe_every` of
 /// 0 means the engines' default probe grid (n) — pass 1 for exact hit
 /// times when fitting constants at small n (bench_f9).
+/// The trailing `journal` (when non-null) receives a heartbeat with the
+/// engine's counter snapshot at every probe — the cheap way to watch a
+/// n = 10^10 leap run make progress.
 pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions = 0,
-                                   std::uint64_t probe_every = 0);
+                                   std::uint64_t probe_every = 0,
+                                   obs::Journal* journal = nullptr);
 
 /// Engine × Topology epidemic: one infected agent (agent 0, community 0)
 /// run to full infection.  kComplete delegates to the uniform overload;
@@ -214,6 +244,7 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions,
                                    std::uint64_t probe_every,
-                                   const Topology& topology);
+                                   const Topology& topology,
+                                   obs::Journal* journal = nullptr);
 
 }  // namespace ssle::analysis

@@ -1,0 +1,107 @@
+#include "obs/journal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ssle::obs {
+
+std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // ru_maxrss is bytes on Darwin, KiB on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
+Journal::Journal(Options opts) : opts_(std::move(opts)) {
+  if (!opts_.path.empty()) {
+    file_.open(opts_.path, std::ios::out | std::ios::trunc);
+    if (!file_) {
+      std::fprintf(stderr, "error: cannot open %s for journaling\n",
+                   opts_.path.c_str());
+      std::exit(2);
+    }
+  }
+  start_ = Clock::now();
+  last_emit_ = start_;
+}
+
+std::ostream& Journal::sink() {
+  if (file_.is_open()) return file_;
+  return std::cerr;
+}
+
+void Journal::emit(const util::Json& doc) {
+  sink() << doc.dump_line() << '\n' << std::flush;
+  ++emitted_;
+}
+
+void Journal::tick(std::uint64_t interactions, const EngineMetrics& metrics) {
+  const auto now = Clock::now();
+  const double since_last =
+      std::chrono::duration<double>(now - last_emit_).count();
+  if (emitted_ > 0) {
+    if (opts_.every_interactions > 0 &&
+        interactions - last_interactions_ < opts_.every_interactions) {
+      return;
+    }
+    if (opts_.every_seconds > 0.0 && since_last < opts_.every_seconds) return;
+  }
+  const double t_s = std::chrono::duration<double>(now - start_).count();
+  // Interval rate: interactions since the last event over the wall time
+  // since it (the whole run, for the first event).
+  const double dt = emitted_ > 0 ? since_last : t_s;
+  const std::uint64_t di =
+      emitted_ > 0 ? interactions - last_interactions_ : interactions;
+  const double ips = dt > 0.0 ? static_cast<double>(di) / dt : 0.0;
+
+  auto doc = util::Json::object();
+  doc.set("v", kJournalSchemaVersion);
+  doc.set("kind", "heartbeat");
+  if (!opts_.run.empty()) doc.set("run", opts_.run);
+  doc.set("t_s", t_s);
+  doc.set("interactions", interactions);
+  doc.set("interactions_per_s", ips);
+  if (opts_.budget > 0) {
+    doc.set("budget", opts_.budget);
+    const double cum_ips =
+        t_s > 0.0 ? static_cast<double>(interactions) / t_s : 0.0;
+    const double eta =
+        cum_ips > 0.0 && opts_.budget > interactions
+            ? static_cast<double>(opts_.budget - interactions) / cum_ips
+            : 0.0;
+    doc.set("eta_s", eta);
+  }
+  doc.set("q", metrics.registry_live_states);
+  doc.set("peak_rss_kb", peak_rss_kb());
+  doc.set("metrics", metrics.to_json());
+  emit(doc);
+  last_emit_ = now;
+  last_interactions_ = interactions;
+}
+
+void Journal::event(const std::string& kind, util::Json payload) {
+  const double t_s =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  auto doc = util::Json::object();
+  doc.set("v", kJournalSchemaVersion);
+  doc.set("kind", kind);
+  if (!opts_.run.empty()) doc.set("run", opts_.run);
+  doc.set("t_s", t_s);
+  doc.set("data", std::move(payload));
+  emit(doc);
+}
+
+}  // namespace ssle::obs

@@ -1,0 +1,89 @@
+// Run journal: periodic JSONL heartbeats for long runs.
+//
+// A multi-hour soak, a churn sweep, or an n = 10^10 leap run is a black
+// box while it executes: the only signal the repo had was the final table.
+// The journal turns a running engine into a stream of machine-readable
+// events — one compact JSON object per line (JSONL), appended to a file or
+// stderr — carrying progress (interactions, interactions/sec, ETA against
+// the budget), footprint (live registry size q, peak RSS via getrusage),
+// and the full obs::EngineMetrics counter block.
+//
+//   obs::Journal journal({.path = "run.jsonl",
+//                         .every_seconds = 5.0,
+//                         .budget = max_interactions});
+//   sim.run_until([&](const auto& c, std::uint64_t t) {
+//     journal.tick(t, sim.metrics());   // rate-limited: cheap when silent
+//     return done(c, t);
+//   }, max_interactions);
+//
+// tick() is designed to sit on probe paths: when the cadence thresholds
+// say "not yet" it costs two comparisons and returns.  Emission flushes
+// per line, so a killed run keeps every event already written.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace ssle::obs {
+
+/// Version of the journal event schema (the "v" field on every line).
+inline constexpr int kJournalSchemaVersion = 1;
+
+/// Peak resident set size of this process in KiB (getrusage ru_maxrss);
+/// 0 on platforms without getrusage.
+std::uint64_t peak_rss_kb();
+
+class Journal {
+ public:
+  struct Options {
+    /// JSONL sink; empty = stderr.  Opened (truncating) at construction;
+    /// an unopenable path is a hard error (exit 2), same contract as
+    /// util::write_json_file — a run asked to journal must not silently
+    /// lose its events.
+    std::string path;
+    /// Minimum interactions between heartbeats (0 = no interaction gate).
+    std::uint64_t every_interactions = 0;
+    /// Minimum wall seconds between heartbeats (0 = no time gate).
+    double every_seconds = 0.0;
+    /// Interaction budget for the eta_s field (0 = no ETA).
+    std::uint64_t budget = 0;
+    /// Free-form run label, echoed on every event when nonempty.
+    std::string run;
+  };
+
+  explicit Journal(Options opts);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Heartbeat: emits one event when the cadence gates allow (the first
+  /// tick always emits; later ticks must clear BOTH thresholds).  Cheap
+  /// when silent — call it from every probe.
+  void tick(std::uint64_t interactions, const EngineMetrics& metrics);
+
+  /// Unconditional event of a named kind with caller-supplied payload
+  /// (run boundaries, bursts, phase transitions).
+  void event(const std::string& kind, util::Json payload);
+
+  std::uint64_t events_emitted() const { return emitted_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void emit(const util::Json& doc);
+  std::ostream& sink();
+
+  Options opts_;
+  std::ofstream file_;  ///< open iff opts_.path nonempty
+  Clock::time_point start_;
+  Clock::time_point last_emit_;
+  std::uint64_t last_interactions_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace ssle::obs

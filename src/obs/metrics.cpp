@@ -1,0 +1,34 @@
+#include "obs/metrics.hpp"
+
+namespace ssle::obs {
+
+util::Json EngineMetrics::to_json() const {
+  auto j = util::Json::object();
+  j.set("engine", engine);
+  j.set("interactions", interactions);
+  j.set("interactions_iterated", interactions_iterated);
+  j.set("interactions_leapt", interactions_leapt);
+  j.set("blocks_dense", blocks_dense);
+  j.set("blocks_fenwick", blocks_fenwick);
+  j.set("collision_resolutions", collision_resolutions);
+  j.set("community_pair_draws", community_pair_draws);
+  j.set("fenwick_point_updates", fenwick_point_updates);
+  j.set("fenwick_samples", fenwick_samples);
+  j.set("registry_live_states", registry_live_states);
+  j.set("registry_allocated_states", registry_allocated_states);
+  j.set("registry_capacity", registry_capacity);
+  j.set("registry_compactions", registry_compactions);
+  j.set("registry_version", registry_version);
+  j.set("delta_cache_hits", delta_cache_hits);
+  j.set("delta_cache_misses", delta_cache_misses);
+  j.set("delta_cache_clears", delta_cache_clears);
+  j.set("delta_cache_entries", delta_cache_entries);
+  j.set("leap_windows", leap_windows);
+  j.set("leap_candidates", leap_candidates);
+  j.set("envelope_breaches", envelope_breaches);
+  j.set("split_depth_max", split_depth_max);
+  j.set("banded_pieces", banded_pieces);
+  return j;
+}
+
+}  // namespace ssle::obs

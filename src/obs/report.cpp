@@ -1,0 +1,37 @@
+#include "obs/report.hpp"
+
+#include <ostream>
+
+namespace ssle::obs {
+
+Report::Report(std::string bench, int pr) {
+  doc_ = util::Json::object();
+  doc_.set("schema_version", kSchemaVersion);
+  doc_.set("bench", std::move(bench));
+  doc_.set("pr", pr);
+  sections_ = util::Json::object();
+}
+
+Report& Report::set(const std::string& key, util::Json v) {
+  doc_.set(key, std::move(v));
+  return *this;
+}
+
+Report& Report::section(const std::string& name, util::Json body) {
+  sections_.set(name, std::move(body));
+  return *this;
+}
+
+util::Json Report::to_json() const {
+  util::Json out = doc_;
+  out.set("sections", sections_);
+  return out;
+}
+
+void Report::write_if(const std::string& path, std::ostream& log) const {
+  if (path.empty()) return;
+  util::write_json_file(path, to_json());
+  log << "\nstructured results written to " << path << '\n';
+}
+
+}  // namespace ssle::obs

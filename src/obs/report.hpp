@@ -1,0 +1,55 @@
+// Versioned structured bench output: one schema for every --json bench.
+//
+// Before this, each bench hand-rolled its own util::Json document (when it
+// emitted one at all), so BENCH_*.json consumers had to know per-bench
+// layouts.  Report pins ONE envelope:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "pr": <N>,
+//     ...top-level run parameters (set)...
+//     "sections": { "<name>": {...}, ... }
+//   }
+//
+// Benches fill named sections (tables become arrays of row objects) and
+// call write_if(--json path): empty path = no-op, so the flag stays
+// optional everywhere.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace ssle::obs {
+
+class Report {
+ public:
+  /// Version of the report envelope.  Bump when the envelope shape
+  /// changes (section contents are bench-owned and bench-versioned by
+  /// the "pr" field).
+  static constexpr int kSchemaVersion = 1;
+
+  Report(std::string bench, int pr);
+
+  /// Top-level field (run parameters: n, seed, trials, ...).
+  Report& set(const std::string& key, util::Json v);
+
+  /// Adds (or replaces) a named section.
+  Report& section(const std::string& name, util::Json body);
+
+  /// The assembled document (envelope + sections).
+  util::Json to_json() const;
+
+  /// Honors the --json contract: when `path` is nonempty, writes the
+  /// document (util::write_json_file semantics — exit 2 on I/O failure)
+  /// and prints a one-line note to `log`.  Empty path: no-op.
+  void write_if(const std::string& path, std::ostream& log) const;
+
+ private:
+  util::Json doc_;       ///< envelope + top-level fields
+  util::Json sections_;  ///< named section bodies
+};
+
+}  // namespace ssle::obs

@@ -73,6 +73,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pp/counts.hpp"
 #include "pp/delta_cache.hpp"
 #include "pp/protocol.hpp"
@@ -132,6 +133,9 @@ concept LumpableTopology =
       { cc.num_live_states() } -> std::convertible_to<std::uint32_t>;
       { cc.count(id) } -> std::convertible_to<std::uint64_t>;
       { cc.registry_version() } -> std::convertible_to<std::uint64_t>;
+      { cc.fenwick_updates() } -> std::convertible_to<std::uint64_t>;
+      { cc.fenwick_samples() } -> std::convertible_to<std::uint64_t>;
+      { cc.compactions() } -> std::convertible_to<std::uint64_t>;
       { cc.state(id) } -> std::convertible_to<const typename P::State&>;
       { c.index_near(s, id) } -> std::convertible_to<std::uint32_t>;
       c.add_at(id, k);
@@ -232,6 +236,40 @@ class BatchedSimulator {
   std::uint64_t delta_cache_hits() const { return cache_hits_; }
   std::uint64_t delta_cache_misses() const { return cache_misses_; }
   std::size_t delta_cache_size() const { return delta_cache_.size(); }
+  /// Cache invalidations taken (one per compaction that reclaimed ids
+  /// while the memoized path was active).
+  std::uint64_t delta_cache_clears() const { return cache_clears_; }
+
+  /// Colliding interactions resolved individually (block path), and
+  /// ordered community pairs drawn (community path; equals interactions()
+  /// there — every interaction draws exactly one pair when n ≥ 2).
+  std::uint64_t collision_resolutions() const { return collisions_; }
+  std::uint64_t community_pair_draws() const { return community_draws_; }
+
+  /// Uniform engine-metrics snapshot (obs/metrics.hpp): the engine's own
+  /// counters plus the registry's.  O(1) — counters are always on.
+  obs::EngineMetrics metrics() const {
+    obs::EngineMetrics m;
+    m.engine = Config::kUniformPairs ? "batched" : "batched-community";
+    m.interactions = interactions_;
+    m.interactions_iterated = interactions_;
+    m.blocks_dense = dense_blocks_;
+    m.blocks_fenwick = fenwick_blocks_;
+    m.collision_resolutions = collisions_;
+    m.community_pair_draws = community_draws_;
+    m.fenwick_point_updates = config_.fenwick_updates();
+    m.fenwick_samples = config_.fenwick_samples();
+    m.registry_live_states = config_.num_live_states();
+    m.registry_allocated_states = config_.num_allocated_states();
+    m.registry_capacity = config_.num_states();
+    m.registry_compactions = config_.compactions();
+    m.registry_version = config_.registry_version();
+    m.delta_cache_hits = cache_hits_;
+    m.delta_cache_misses = cache_misses_;
+    m.delta_cache_clears = cache_clears_;
+    m.delta_cache_entries = delta_cache_.size();
+    return m;
+  }
 
  private:
   /// One exact interaction of the community-weighted pair law
@@ -244,6 +282,7 @@ class BatchedSimulator {
   void step_community()
     requires(!Config::kUniformPairs)
   {
+    ++community_draws_;
     const auto [a, b] = config_.sample_community_pair(rng_);
     const std::uint32_t ia =
         config_.sample_class_in(a, rng_.below(config_.community_size(a)));
@@ -534,6 +573,7 @@ class BatchedSimulator {
   /// pools: outputs go straight back to the configuration (the block ends
   /// here, so they can never be drawn again within it).
   void apply_collision(std::uint32_t ai, std::uint32_t bi) {
+    ++collisions_;
     if constexpr (kDeterministicDelta<P>) {
       const auto [oa, ob] = delta_outputs(ai, bi);
       config_.add_at(oa, 1);
@@ -626,6 +666,7 @@ class BatchedSimulator {
       }
       if constexpr (kDeterministicDelta<P>) {
         delta_cache_.clear();
+        ++cache_clears_;
       }
     }
   }
@@ -669,10 +710,13 @@ class BatchedSimulator {
   std::uint64_t interactions_ = 0;
   std::uint64_t dense_blocks_ = 0;
   std::uint64_t fenwick_blocks_ = 0;
+  std::uint64_t collisions_ = 0;        ///< colliding interactions resolved
+  std::uint64_t community_draws_ = 0;   ///< community path: pairs drawn
 
   DeltaCache delta_cache_;  ///< (id, id) → (id, id), deterministic δ only
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_clears_ = 0;
 
   std::vector<double> log_survival_;  ///< log P(first collision > t), Θ(√n)
 

@@ -121,6 +121,9 @@ class CommunityCountsConfiguration {
   std::uint32_t num_live_states() const { return kernel_.num_live_states(); }
   std::uint64_t count(std::uint32_t idx) const { return kernel_.count(idx); }
   std::uint64_t registry_version() const { return kernel_.registry_version(); }
+  std::uint64_t fenwick_updates() const { return kernel_.fenwick_updates(); }
+  std::uint64_t fenwick_samples() const { return kernel_.fenwick_samples(); }
+  std::uint64_t compactions() const { return kernel_.compactions(); }
 
   /// The protocol state class idx stands for (community stripped — this is
   /// what δ consumes; δ is community-oblivious).

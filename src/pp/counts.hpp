@@ -86,6 +86,16 @@ class CountsKernel {
   /// when this changes — reclaimed ids may be reused for other keys.
   std::uint64_t registry_version() const { return interner_.version(); }
 
+  // --- lifetime operation counters (obs::EngineMetrics feeds) ----------
+  // One uint64 increment per O(log q) tree operation: always on, within
+  // noise of the uninstrumented kernel (gated by bench_parallel_sweep §8).
+  /// Fenwick point updates executed (one per add_at/remove_at).
+  std::uint64_t fenwick_updates() const { return fenwick_updates_; }
+  /// Fenwick sampling descents executed (one per sample_class).
+  std::uint64_t fenwick_samples() const { return fenwick_samples_; }
+  /// compact() calls that ran.
+  std::uint64_t compactions() const { return compactions_; }
+
   /// Count of a key, 0 if it was never registered.
   std::uint64_t count_of(const Key& k) const {
     const std::uint32_t id = interner_.find(k);
@@ -152,6 +162,7 @@ class CountsKernel {
   /// a zero-count class.  Requires pos < population_size().
   std::uint32_t sample_class(std::uint64_t pos) const {
     assert(pos < total_);
+    ++fenwick_samples_;
     std::uint32_t idx = 0;
     const auto size = static_cast<std::uint32_t>(tree_.size() - 1);
     for (std::uint32_t bit = std::bit_floor(size); bit != 0; bit >>= 1) {
@@ -188,6 +199,7 @@ class CountsKernel {
   /// happens, so previously obtained ids of live keys stay valid.  Ids
   /// of dead keys become invalid; registry_version() records that.
   void compact() {
+    ++compactions_;
     interner_.reclaim([&](std::uint32_t id) { return counts_[id] == 0; });
     interner_.shrink();
     // Trailing reclaimed entries carried count 0, so truncating the counts
@@ -202,6 +214,7 @@ class CountsKernel {
   // Fenwick tree over counts_, 1-indexed (tree_[0] unused): tree_[j] holds
   // the sum of counts_[j - lowbit(j) .. j - 1].
   void tree_add(std::uint32_t idx, std::uint64_t c) {
+    ++fenwick_updates_;
     const auto size = static_cast<std::uint32_t>(tree_.size() - 1);
     for (std::uint32_t j = idx + 1; j <= size; j += j & (~j + 1u)) {
       tree_[j] += c;
@@ -209,6 +222,7 @@ class CountsKernel {
   }
 
   void tree_sub(std::uint32_t idx, std::uint64_t c) {
+    ++fenwick_updates_;
     const auto size = static_cast<std::uint32_t>(tree_.size() - 1);
     for (std::uint32_t j = idx + 1; j <= size; j += j & (~j + 1u)) {
       tree_[j] -= c;
@@ -229,6 +243,13 @@ class CountsKernel {
   std::vector<std::uint64_t> tree_{0};   ///< Fenwick tree over counts_
   std::uint64_t total_ = 0;
   std::uint32_t live_ = 0;  ///< number of nonzero counts_ entries
+
+  // Operation counters (see the accessors above).  fenwick_samples_ is
+  // mutable because sample_class is logically const — drawing observes,
+  // never mutates, the multiset.
+  std::uint64_t fenwick_updates_ = 0;
+  mutable std::uint64_t fenwick_samples_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 /// The uniform-scheduler counts projection: Key = the protocol's State.

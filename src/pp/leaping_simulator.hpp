@@ -125,6 +125,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pp/batched_simulator.hpp"  // sample_hypergeometric (window splits)
 #include "pp/counts.hpp"
 #include "pp/protocol.hpp"
@@ -243,6 +244,9 @@ class LeapingSimulator {
   /// Envelope-breach window splits taken (astronomically rare at the
   /// default cap; tests force them with tiny caps).
   std::uint64_t splits() const { return splits_; }
+  /// Deepest split recursion reached over the run (0 when no window was
+  /// ever split) — how far the exact over-cap machinery had to descend.
+  std::uint64_t split_depth_max() const { return split_depth_max_; }
   /// Window pieces resolved by the banded batch path (uniform net delta,
   /// W_low > 0) — O(1) draws instead of one per candidate.
   std::uint64_t banded_pieces() const { return banded_pieces_; }
@@ -253,6 +257,32 @@ class LeapingSimulator {
   std::uint32_t table_classes() const { return table_q_; }
   std::uint32_t active_pair_types() const {
     return static_cast<std::uint32_t>(active_.size());
+  }
+
+  /// Uniform engine-metrics snapshot (obs/metrics.hpp): iterated = the
+  /// count-changing events actually executed, leapt = the null runs
+  /// consumed without iteration, plus window/split statistics and the
+  /// registry's counters (touched only at step boundaries — the hot loop
+  /// runs on the detached count vector).
+  obs::EngineMetrics metrics() const {
+    obs::EngineMetrics m;
+    m.engine = "leaping";
+    m.interactions = interactions_;
+    m.interactions_iterated = events_;
+    m.interactions_leapt = interactions_ - events_;
+    m.fenwick_point_updates = config_.fenwick_updates();
+    m.fenwick_samples = config_.fenwick_samples();
+    m.registry_live_states = config_.num_live_states();
+    m.registry_allocated_states = config_.num_allocated_states();
+    m.registry_capacity = config_.num_states();
+    m.registry_compactions = config_.compactions();
+    m.registry_version = config_.registry_version();
+    m.leap_windows = windows_;
+    m.leap_candidates = candidates_;
+    m.envelope_breaches = splits_;
+    m.split_depth_max = split_depth_max_;
+    m.banded_pieces = banded_pieces_;
+    return m;
   }
 
  private:
@@ -534,6 +564,8 @@ class LeapingSimulator {
   ///     made newly eligible, the mass the stale-envelope bug dropped.
   void split_piece(std::uint64_t m, double level, std::vector<Band> bands) {
     ++splits_;
+    ++split_depth_;
+    split_depth_max_ = std::max(split_depth_max_, split_depth_);
     const std::uint64_t m1 = m / 2;  // total > cap ≥ 1 forces m ≥ 2
     const std::uint64_t m2 = m - m1;
     std::vector<Band> b1, b2;
@@ -564,6 +596,7 @@ class LeapingSimulator {
       level2 = wbar2;
     }
     run_bands(m2, level2, std::move(b2));
+    --split_depth_;
   }
 
   /// Processes a piece described by bands.  Splits again while over cap;
@@ -730,6 +763,8 @@ class LeapingSimulator {
   std::uint64_t candidates_ = 0;
   std::uint64_t windows_ = 0;
   std::uint64_t splits_ = 0;
+  std::uint64_t split_depth_ = 0;      ///< current split recursion depth
+  std::uint64_t split_depth_max_ = 0;  ///< deepest recursion over the run
   std::uint64_t banded_pieces_ = 0;
 };
 

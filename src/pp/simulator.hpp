@@ -13,6 +13,7 @@
 #include <limits>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "pp/population.hpp"
 #include "pp/protocol.hpp"
 #include "pp/scheduler.hpp"
@@ -97,6 +98,18 @@ class Simulator {
   }
 
   std::uint64_t interactions() const { return interactions_; }
+
+  /// Uniform engine-metrics snapshot (obs/metrics.hpp).  The naive engine
+  /// iterates every interaction over the agent array and has no counts
+  /// registry, so only the interaction counters are meaningful.
+  obs::EngineMetrics metrics() const {
+    obs::EngineMetrics m;
+    m.engine = "naive";
+    m.interactions = interactions_;
+    m.interactions_iterated = interactions_;
+    return m;
+  }
+
   Population<P>& population() { return population_; }
   const Population<P>& population() const { return population_; }
   const P& protocol() const { return protocol_; }

@@ -39,6 +39,20 @@ void write_indent(std::ostream& os, int indent) {
   for (int i = 0; i < indent; ++i) os << "  ";
 }
 
+/// Shortest round-trip decimal form of a finite double: the fewest
+/// significant digits (≤ max_digits10 = 17) whose strtod re-parse gives
+/// back the exact bit pattern.  %.10g (the old form) silently lost
+/// precision on values needing 11+ digits; always printing 17 digits would
+/// bloat every document with noise digits.
+void write_double(std::ostream& os, double d) {
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  os << buf;
+}
+
 }  // namespace
 
 Json::Json(std::uint64_t v) {
@@ -90,9 +104,7 @@ void Json::write(std::ostream& os, int indent) const {
     if (!std::isfinite(*d)) {
       os << "null";  // JSON has no NaN/inf
     } else {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.10g", *d);
-      os << buf;
+      write_double(os, *d);
     }
   } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
     os << *i;
@@ -134,6 +146,34 @@ void Json::write(std::ostream& os, int indent) const {
 std::string Json::dump() const {
   std::ostringstream os;
   write(os);
+  return os.str();
+}
+
+void Json::write_compact(std::ostream& os) const {
+  if (const auto* members = std::get_if<Members>(&value_)) {
+    os << '{';
+    for (std::size_t i = 0; i < members->size(); ++i) {
+      if (i > 0) os << ',';
+      write_escaped(os, (*members)[i].first);
+      os << ':';
+      (*members)[i].second.write_compact(os);
+    }
+    os << '}';
+  } else if (const auto* elements = std::get_if<Elements>(&value_)) {
+    os << '[';
+    for (std::size_t i = 0; i < elements->size(); ++i) {
+      if (i > 0) os << ',';
+      (*elements)[i].write_compact(os);
+    }
+    os << ']';
+  } else {
+    write(os);  // scalars have no layout to compact
+  }
+}
+
+std::string Json::dump_line() const {
+  std::ostringstream os;
+  write_compact(os);
   return os.str();
 }
 

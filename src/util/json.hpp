@@ -11,8 +11,11 @@
 //   doc.set("fenwick", std::move(section));
 //   write_json_file("BENCH.json", doc);
 //
-// Writing is pretty-printed, keys keep insertion order (stable diffs),
-// non-finite doubles serialize as null (JSON has no NaN/inf).
+// Writing is pretty-printed (write/dump) or compact single-line
+// (dump_line — the JSONL form obs::Journal emits), keys keep insertion
+// order (stable diffs), doubles print with shortest round-trip precision
+// (strtod(dump) == value, up to max_digits10), and non-finite doubles
+// serialize as null (JSON has no NaN/inf).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +49,11 @@ class Json {
 
   void write(std::ostream& os, int indent = 0) const;
   std::string dump() const;
+
+  /// Compact single-line form (no whitespace, no trailing newline): one
+  /// JSONL record per call.  Same value syntax as write().
+  void write_compact(std::ostream& os) const;
+  std::string dump_line() const;
 
  private:
   struct ObjectTag {};

@@ -1,0 +1,89 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace ssle::util {
+namespace {
+
+// The written form of a bare double is the number itself, so strtod on
+// dump() is the round-trip a JSON reader would perform.
+double reparse(double v) {
+  const std::string s = Json(v).dump_line();
+  return std::strtod(s.c_str(), nullptr);
+}
+
+TEST(JsonDouble, RoundTripsExactly) {
+  const double cases[] = {
+      0.0,
+      1.0,
+      0.1,
+      1.0 / 3.0,
+      2.718281828459045,
+      1e-300,
+      1e300,
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),  // 5e-324
+      123456789.123456789,
+      -0.25,
+  };
+  for (const double v : cases) {
+    EXPECT_EQ(reparse(v), v) << "printed as " << Json(v).dump_line();
+  }
+}
+
+TEST(JsonDouble, NegativeZeroPrintsValidJson) {
+  // "-0" is a valid JSON number and parses back to negative zero.
+  const std::string s = Json(-0.0).dump_line();
+  const double back = std::strtod(s.c_str(), nullptr);
+  EXPECT_EQ(back, 0.0);
+  EXPECT_TRUE(std::signbit(back)) << "printed as " << s;
+}
+
+TEST(JsonDouble, ShortValuesStayShort) {
+  // The shortest-round-trip search must not decorate values that already
+  // survive at %.15g (stable diffs in BENCH_*.json).
+  EXPECT_EQ(Json(1.5).dump_line(), "1.5");
+  EXPECT_EQ(Json(0.25).dump_line(), "0.25");
+  EXPECT_EQ(Json(100.0).dump_line(), "100");
+}
+
+TEST(JsonDouble, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump_line(),
+            "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump_line(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump_line(),
+            "null");
+}
+
+TEST(JsonDumpLine, CompactSingleLine) {
+  auto doc = Json::object();
+  doc.set("name", "x");
+  doc.set("count", std::uint64_t{3});
+  auto arr = Json::array();
+  arr.push(1);
+  arr.push(true);
+  arr.push(Json());
+  doc.set("items", std::move(arr));
+  const std::string line = doc.dump_line();
+  EXPECT_EQ(line, R"({"name":"x","count":3,"items":[1,true,null]})");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(JsonDumpLine, AgreesWithPrettyDumpOnValues) {
+  // Same value syntax either way: a reader must see identical scalars.
+  auto doc = Json::object();
+  doc.set("pi", 3.141592653589793);
+  const std::string pretty = doc.dump();
+  const std::string compact = doc.dump_line();
+  EXPECT_NE(pretty.find("3.141592653589793"), std::string::npos);
+  EXPECT_NE(compact.find("3.141592653589793"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssle::util
