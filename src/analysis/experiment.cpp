@@ -1,12 +1,11 @@
 #include "analysis/experiment.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <exception>
 #include <iostream>
-#include <mutex>
 #include <thread>
+
+#include "util/thread_pool.hpp"
 
 namespace ssle::analysis {
 
@@ -52,35 +51,16 @@ SweepResult parallel_sweep(std::uint64_t base_seed, std::size_t trials,
       values[t] = measure(base_seed + t);
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    // First exception thrown by any trial, rethrown on the calling thread
-    // after the join so error behavior matches the jobs == 1 path.
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (std::size_t j = 0; j < jobs; ++j) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
-          if (t >= trials) return;
-          try {
-            values[t] = measure(base_seed + t);
-          } catch (...) {
-            {
-              const std::lock_guard<std::mutex> lock(error_mutex);
-              if (!error) error = std::current_exception();
-            }
-            // Drain the queue so the other workers stop picking up trials
-            // and the rethrow below is not delayed by remaining work.
-            next.store(trials, std::memory_order_relaxed);
-            return;
-          }
-        }
-      });
-    }
-    for (auto& worker : pool) worker.join();
-    if (error) std::rethrow_exception(error);
+    // util::ThreadPool claims trial indices from one atomic counter, just
+    // as the historical inline pool did, and the calling thread counts as
+    // one of the `jobs` executors.  Values land in seed order regardless of
+    // which thread ran which trial, so the SweepResult is bit-identical to
+    // sweep()'s; the first trial exception is rethrown here after the
+    // drain, matching the jobs == 1 path's error behavior.
+    util::ThreadPool pool(jobs - 1);
+    pool.run_indexed(trials, [&](std::size_t t) {
+      values[t] = measure(base_seed + t);
+    });
   }
   return aggregate(values);
 }

@@ -15,6 +15,7 @@
 #include "pp/epidemic.hpp"
 #include "pp/graph.hpp"
 #include "pp/leaping_simulator.hpp"
+#include "pp/sharded_simulator.hpp"
 #include "pp/simulator.hpp"
 
 namespace ssle::analysis {
@@ -86,6 +87,39 @@ StabilizationResult stabilize_counts_from(
   return res;
 }
 
+/// Sharded-engine counterpart of stabilize_counts_from: the same counts
+/// configuration, partitioned over `shards` worker shards
+/// (pp::ShardedSimulator).  Probes observe the settled merged
+/// configuration, so the predicate and census code are shared verbatim.
+StabilizationResult stabilize_sharded_counts_from(
+    const core::Params& params,
+    pp::CountsConfiguration<core::ElectLeader> config, std::uint64_t seed,
+    std::uint64_t max_interactions, const ProbeOptions& probes,
+    std::size_t shards) {
+  core::ElectLeader protocol(params);
+  pp::ShardedSimulator<core::ElectLeader> sim(protocol, std::move(config),
+                                              seed, shards);
+
+  const auto probe = [&](const pp::CountsConfiguration<core::ElectLeader>& c,
+                         std::uint64_t t) {
+    if (probes.trace) probes.trace->record(t, c);
+    if (probes.journal) probes.journal->tick(t, sim.metrics());
+    return core::is_safe_configuration(params, c);
+  };
+  const auto run =
+      sim.run_until(probe, max_interactions,
+                    probes.probe_every ? probes.probe_every : params.n);
+
+  StabilizationResult res;
+  res.converged = run.converged;
+  res.interactions = run.interactions;
+  res.parallel_time = run.parallel_time(params.n);
+  res.leaders = static_cast<std::uint32_t>(
+      sim.config().count_if(core::ElectLeader::is_leader));
+  res.metrics = sim.metrics();
+  return res;
+}
+
 /// The protocol's clean initial configuration as a per-agent array.
 std::vector<core::Agent> clean_config(const core::Params& params) {
   core::ElectLeader protocol(params);
@@ -99,7 +133,7 @@ std::vector<core::Agent> clean_config(const core::Params& params) {
 
 }  // namespace
 
-StabilizationResult stabilize(Engine engine, StartKind start,
+StabilizationResult stabilize(EngineSpec engine, StartKind start,
                               const core::Params& params,
                               core::Corruption corruption, std::uint64_t seed,
                               std::uint64_t max_interactions,
@@ -109,11 +143,16 @@ StabilizationResult stabilize(Engine engine, StartKind start,
       return stabilize_from(params, clean_config(params), seed,
                             max_interactions, probes);
     }
+    core::ElectLeader protocol(params);
+    if (engine == Engine::kSharded) {
+      return stabilize_sharded_counts_from(
+          params, pp::CountsConfiguration<core::ElectLeader>(protocol), seed,
+          max_interactions, probes, engine.shards);
+    }
     // kBatched and kLeaping both take the counts path: ElectLeader_r draws
     // randomness in δ, so it is not leap-eligible (pp::LeapEligible) and a
     // leap request degrades to the nearest exact engine (documented in
     // measure.hpp; the routing is pinned by a test).
-    core::ElectLeader protocol(params);
     return stabilize_counts_from(
         params, pp::CountsConfiguration<core::ElectLeader>(protocol), seed,
         max_interactions, probes);
@@ -133,11 +172,16 @@ StabilizationResult stabilize(Engine engine, StartKind start,
   // survives into the simulation (any agent labelling is dynamics-
   // equivalent under the uniform scheduler).
   pp::CountsConfiguration<core::ElectLeader> counts(config);
+  if (engine == Engine::kSharded) {
+    return stabilize_sharded_counts_from(params, std::move(counts), seed,
+                                         max_interactions, probes,
+                                         engine.shards);
+  }
   return stabilize_counts_from(params, std::move(counts), seed,
                                max_interactions, probes);
 }
 
-StabilizationResult stabilize(Engine engine, const core::Params& params,
+StabilizationResult stabilize(EngineSpec engine, const core::Params& params,
                               std::uint64_t seed,
                               std::uint64_t max_interactions) {
   return stabilize(engine, StartKind::kClean, params, core::Corruption::kNone,
@@ -245,7 +289,7 @@ Engine route_topology_engine(Engine engine, const Topology& topology) {
 
 }  // namespace
 
-StabilizationResult stabilize(Engine engine, StartKind start,
+StabilizationResult stabilize(EngineSpec engine, StartKind start,
                               const core::Params& params,
                               core::Corruption corruption, std::uint64_t seed,
                               std::uint64_t max_interactions,
@@ -286,7 +330,16 @@ StabilizationResult stabilize(Engine engine, StartKind start,
   }
   // kBatched and kLeaping: the lumped community engine (leaping has no
   // community leap path; same nearest-exact-engine routing as for
-  // ineligible protocols).
+  // ineligible protocols).  kSharded reroutes here too — its birthday-
+  // block partition assumes the uniform pair law, which community
+  // weighting breaks — loudly, like every other engine degrade.
+  if (engine == Engine::kSharded) {
+    std::fprintf(stderr,
+                 "note: topology '%s' is community-weighted; the sharded "
+                 "engine's uniform block partition does not apply — routing "
+                 "--engine=sharded to the community batched engine\n",
+                 topology_name(topology));
+  }
   pp::CommunityCountsConfiguration<core::ElectLeader> counts(
       config, std::move(blocked));
   return stabilize_community_from(params, std::move(counts), seed,
@@ -322,7 +375,7 @@ bool derandomized_counts_safe(
 
 }  // namespace
 
-StabilizationResult stabilize_derandomized(Engine engine,
+StabilizationResult stabilize_derandomized(EngineSpec engine,
                                            const core::Params& params,
                                            std::uint64_t seed,
                                            std::uint64_t max_interactions) {
@@ -355,6 +408,25 @@ StabilizationResult stabilize_derandomized(Engine engine,
     return res;
   }
 
+  if (engine == Engine::kSharded) {
+    pp::ShardedSimulator<core::DerandomizedElectLeader> sim(
+        protocol,
+        pp::CountsConfiguration<core::DerandomizedElectLeader>(protocol), seed,
+        engine.shards);
+    const auto probe =
+        [&](const pp::CountsConfiguration<core::DerandomizedElectLeader>& c,
+            std::uint64_t) { return derandomized_counts_safe(params, c); };
+    const auto run = sim.run_until(probe, max_interactions,
+                                   /*probe_every=*/params.n);
+    res.converged = run.converged;
+    res.interactions = run.interactions;
+    res.parallel_time = run.parallel_time(params.n);
+    res.leaders = static_cast<std::uint32_t>(
+        sim.config().count_if(core::DerandomizedElectLeader::is_leader));
+    res.metrics = sim.metrics();
+    return res;
+  }
+
   // kBatched and kLeaping both land here: DerandomizedElectLeader has a
   // deterministic δ but keeps q ≈ n distinct states (FastLE identifiers,
   // ranks), so it fails the narrow-registry half of pp::LeapEligible —
@@ -375,14 +447,21 @@ StabilizationResult stabilize_derandomized(Engine engine,
   return res;
 }
 
-Engine engine_from_string(const std::string& name) {
+EngineSpec engine_from_string(const std::string& name) {
   if (name == "naive") return Engine::kNaive;
   if (name == "batched") return Engine::kBatched;
   if (name == "leaping") return Engine::kLeaping;
-  std::fprintf(
-      stderr,
-      "error: --engine=%s is not a valid engine (naive|batched|leaping)\n",
-      name.c_str());
+  if (name == "sharded") return EngineSpec(Engine::kSharded, 0);
+  std::size_t shards = 0;
+  char tail = '\0';
+  if (std::sscanf(name.c_str(), "sharded:%zu%c", &shards, &tail) == 1 &&
+      shards >= 1) {
+    return EngineSpec(Engine::kSharded, shards);
+  }
+  std::fprintf(stderr,
+               "error: --engine=%s is not a valid engine "
+               "(naive|batched|leaping|sharded[:T])\n",
+               name.c_str());
   std::exit(2);
 }
 
@@ -394,6 +473,8 @@ const char* engine_name(Engine engine) {
       return "batched";
     case Engine::kLeaping:
       return "leaping";
+    case Engine::kSharded:
+      return "sharded";
   }
   return "unknown";
 }
@@ -538,7 +619,7 @@ pp::CountsConfiguration<pp::Epidemic> epidemic_counts(std::uint64_t n) {
 
 }  // namespace
 
-pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
+pp::RunResult epidemic_convergence(EngineSpec engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions,
                                    std::uint64_t probe_every,
@@ -596,11 +677,20 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
           },
           max_interactions, probe_every);
     }
+    case Engine::kSharded: {
+      pp::ShardedSimulator<pp::Epidemic> sim(protocol, epidemic_counts(n),
+                                             seed, engine.shards);
+      return sim.run_until(
+          [&](const pp::CountsConfiguration<pp::Epidemic>& c, std::uint64_t t) {
+            return all_infected(sim, c, t);
+          },
+          max_interactions, probe_every);
+    }
   }
   return {0, false};
 }
 
-pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
+pp::RunResult epidemic_convergence(EngineSpec engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions,
                                    std::uint64_t probe_every,
@@ -674,7 +764,14 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
   }
   // kBatched / kLeaping: the lumped engine.  The configuration is built in
   // O(K) — {1 infected in community 0 (agent 0 lives there), the rest
-  // susceptible} — never an O(n) agent loop.
+  // susceptible} — never an O(n) agent loop.  kSharded reroutes here too
+  // (its uniform block partition doesn't apply under community weighting).
+  if (engine == Engine::kSharded) {
+    std::fprintf(stderr,
+                 "note: topology '%s' is community-weighted; routing "
+                 "--engine=sharded to the community batched engine\n",
+                 topology_name(topology));
+  }
   pp::CommunityCountsConfiguration<pp::Epidemic> counts(blocked);
   counts.add_in(0, 1, 1);
   for (std::uint32_t c = 0; c < blocked.communities(); ++c) {

@@ -69,7 +69,29 @@ struct ProbeOptions {
 /// nearest exact engine) rather than failing — `--engine=leaping` is safe
 /// to pass to every bench, and pays off on the workloads that can leap
 /// (epidemic_convergence below).
-enum class Engine { kNaive, kBatched, kLeaping };
+///
+/// kSharded selects pp::ShardedSimulator: the batched block machinery with
+/// one run's blocks fanned out over T shards on a worker pool — exact for
+/// any T, bit-identical to kBatched at T = 1.  Uniform (complete-topology)
+/// workloads only: blocked topologies reroute loudly to the community
+/// batched engine, the ring to naive.
+enum class Engine { kNaive, kBatched, kLeaping, kSharded };
+
+/// An engine request: the engine kind plus its parameters (today just the
+/// sharded engine's shard count).  Implicitly interconvertible with Engine
+/// so existing call sites — `stabilize(Engine::kBatched, ...)`,
+/// `switch (engine)`, `engine == Engine::kNaive` — keep working unchanged;
+/// only code that must preserve the shard count (CLI plumbing) needs to
+/// hold the EngineSpec itself.
+struct EngineSpec {
+  Engine kind = Engine::kBatched;
+  std::size_t shards = 0;  ///< sharded engine: T (0 = default_shard_count())
+
+  EngineSpec() = default;
+  /*implicit*/ EngineSpec(Engine k) : kind(k) {}
+  EngineSpec(Engine k, std::size_t t) : kind(k), shards(t) {}
+  /*implicit*/ operator Engine() const { return kind; }
+};
 
 /// Which initial configuration a measurement starts from: the protocol's
 /// clean initial configuration, or an adversarial configuration drawn by
@@ -124,9 +146,11 @@ bool topology_is_lumpable(const Topology& topology);
 pp::BlockedTopology blocked_topology(const Topology& topology,
                                      std::uint64_t n);
 
-/// Parses a `--engine=` CLI value ("naive" | "batched" | "leaping"); exits
-/// with a clear error on anything else.
-Engine engine_from_string(const std::string& name);
+/// Parses a `--engine=` CLI value
+/// ("naive" | "batched" | "leaping" | "sharded" | "sharded:T"); exits with
+/// a clear error on anything else.  "sharded" alone picks
+/// pp::default_shard_count() shards at run time.
+EngineSpec engine_from_string(const std::string& name);
 const char* engine_name(Engine engine);
 
 /// Parses a `--start=` CLI value ("clean" | "adversarial"); exits with a
@@ -155,7 +179,7 @@ const char* multiplicity_name(core::MessageMultiplicity mult);
 /// bench_parallel_sweep measures the honest wall-clock ratio.  The batched
 /// engine is what makes n = 10^5–10^6 rows executable and is strictly
 /// preferable for count-compressible workloads.
-StabilizationResult stabilize(Engine engine, StartKind start,
+StabilizationResult stabilize(EngineSpec engine, StartKind start,
                               const core::Params& params,
                               core::Corruption corruption, std::uint64_t seed,
                               std::uint64_t max_interactions,
@@ -164,7 +188,7 @@ StabilizationResult stabilize(Engine engine, StartKind start,
 /// Clean-start convenience overload.  Deliberately takes no StartKind:
 /// an adversarial measurement must name its corruption class, so there
 /// is no way to ask for an adversarial start and silently get kNone.
-StabilizationResult stabilize(Engine engine, const core::Params& params,
+StabilizationResult stabilize(EngineSpec engine, const core::Params& params,
                               std::uint64_t seed,
                               std::uint64_t max_interactions);
 
@@ -177,7 +201,7 @@ StabilizationResult stabilize(Engine engine, const core::Params& params,
 /// routing); kRing is naive-only (loud reroute).  Both engines of a
 /// blocked topology start from the same agent→community layout, so their
 /// laws agree (pinned by tiny-n TV tests).
-StabilizationResult stabilize(Engine engine, StartKind start,
+StabilizationResult stabilize(EngineSpec engine, StartKind start,
                               const core::Params& params,
                               core::Corruption corruption, std::uint64_t seed,
                               std::uint64_t max_interactions,
@@ -191,7 +215,7 @@ StabilizationResult stabilize(Engine engine, StartKind start,
 /// (id, id) → (id, id) transition cache (pp/delta_cache.hpp) — this is the
 /// measurement entry point for that path, used by bench_parallel_sweep §5
 /// and the CI smoke.
-StabilizationResult stabilize_derandomized(Engine engine,
+StabilizationResult stabilize_derandomized(EngineSpec engine,
                                            const core::Params& params,
                                            std::uint64_t seed,
                                            std::uint64_t max_interactions);
@@ -223,7 +247,7 @@ std::uint64_t default_budget(const core::Params& params);
 /// The trailing `journal` (when non-null) receives a heartbeat with the
 /// engine's counter snapshot at every probe — the cheap way to watch a
 /// n = 10^10 leap run make progress.
-pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
+pp::RunResult epidemic_convergence(EngineSpec engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions = 0,
                                    std::uint64_t probe_every = 0,
@@ -240,7 +264,7 @@ pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
 /// blocked default is 8× the complete-graph 64·n·⌈log2 n⌉ (crossing
 /// sparse inter-community cuts), and the ring default is 16·n² (the cycle
 /// spreads by boundary contact — Θ(n²) interactions, paper §2 conductance).
-pp::RunResult epidemic_convergence(Engine engine, std::uint64_t n,
+pp::RunResult epidemic_convergence(EngineSpec engine, std::uint64_t n,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions,
                                    std::uint64_t probe_every,

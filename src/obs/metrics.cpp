@@ -1,6 +1,41 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 namespace ssle::obs {
+
+EngineMetrics& EngineMetrics::merge(const EngineMetrics& other) {
+  if (engine[0] == '\0') engine = other.engine;
+  interactions += other.interactions;
+  interactions_iterated += other.interactions_iterated;
+  interactions_leapt += other.interactions_leapt;
+  blocks_dense += other.blocks_dense;
+  blocks_fenwick += other.blocks_fenwick;
+  blocks_flat += other.blocks_flat;
+  flat_scan_draws += other.flat_scan_draws;
+  collision_resolutions += other.collision_resolutions;
+  community_pair_draws += other.community_pair_draws;
+  shards += other.shards;
+  intra_shard_interactions += other.intra_shard_interactions;
+  cross_shard_interactions += other.cross_shard_interactions;
+  fenwick_point_updates += other.fenwick_point_updates;
+  fenwick_samples += other.fenwick_samples;
+  registry_live_states += other.registry_live_states;
+  registry_allocated_states += other.registry_allocated_states;
+  registry_capacity += other.registry_capacity;
+  registry_compactions += other.registry_compactions;
+  registry_version += other.registry_version;
+  delta_cache_hits += other.delta_cache_hits;
+  delta_cache_misses += other.delta_cache_misses;
+  delta_cache_clears += other.delta_cache_clears;
+  delta_cache_entries += other.delta_cache_entries;
+  leap_windows += other.leap_windows;
+  leap_candidates += other.leap_candidates;
+  envelope_breaches += other.envelope_breaches;
+  split_depth_max = std::max(split_depth_max, other.split_depth_max);
+  banded_pieces += other.banded_pieces;
+  return *this;
+}
 
 util::Json EngineMetrics::to_json() const {
   auto j = util::Json::object();
@@ -10,8 +45,13 @@ util::Json EngineMetrics::to_json() const {
   j.set("interactions_leapt", interactions_leapt);
   j.set("blocks_dense", blocks_dense);
   j.set("blocks_fenwick", blocks_fenwick);
+  j.set("blocks_flat", blocks_flat);
+  j.set("flat_scan_draws", flat_scan_draws);
   j.set("collision_resolutions", collision_resolutions);
   j.set("community_pair_draws", community_pair_draws);
+  j.set("shards", shards);
+  j.set("intra_shard_interactions", intra_shard_interactions);
+  j.set("cross_shard_interactions", cross_shard_interactions);
   j.set("fenwick_point_updates", fenwick_point_updates);
   j.set("fenwick_samples", fenwick_samples);
   j.set("registry_live_states", registry_live_states);

@@ -33,7 +33,8 @@
 namespace ssle::obs {
 
 struct EngineMetrics {
-  /// Producing engine: "naive", "batched", "batched-community", "leaping".
+  /// Producing engine: "naive", "batched", "batched-community", "leaping",
+  /// "sharded".
   const char* engine = "";
 
   // --- interactions ----------------------------------------------------
@@ -44,8 +45,21 @@ struct EngineMetrics {
   // --- batched block machinery -----------------------------------------
   std::uint64_t blocks_dense = 0;           ///< dense-sampler blocks drawn
   std::uint64_t blocks_fenwick = 0;         ///< Fenwick-sampler blocks drawn
+  std::uint64_t blocks_flat = 0;            ///< flat-sampler blocks drawn
+  std::uint64_t flat_scan_draws = 0;        ///< flat cumulative-scan samples
   std::uint64_t collision_resolutions = 0;  ///< colliding interactions resolved
   std::uint64_t community_pair_draws = 0;   ///< ordered community pairs drawn
+
+  // --- sharded engine ---------------------------------------------------
+  // The sharded engine reports engine-level totals in the fields above
+  // (interactions, collision_resolutions) and the partition structure
+  // here.  Invariant (pinned by tests/test_sharded_simulator.cpp):
+  //   intra_shard_interactions + cross_shard_interactions
+  //     + collision_resolutions == interactions, and
+  //   intra_shard_interactions == Σ over shard snapshots of interactions.
+  std::uint64_t shards = 0;                    ///< worker partitions (T)
+  std::uint64_t intra_shard_interactions = 0;  ///< resolved inside one shard
+  std::uint64_t cross_shard_interactions = 0;  ///< resolved across two shards
 
   // --- counts registry (Fenwick + interner) ----------------------------
   std::uint64_t fenwick_point_updates = 0;  ///< tree_add/tree_sub calls
@@ -72,6 +86,23 @@ struct EngineMetrics {
   /// Snapshot as a Json object (field names == member names; `engine`
   /// first).  Schema-stable: obs::kMetricsSchemaVersion names its version.
   util::Json to_json() const;
+
+  /// Accumulates another snapshot into this one: every counter field sums,
+  /// except split_depth_max (a maximum, so it maxes) and engine (this
+  /// snapshot's name wins unless it is still empty).  This is how the
+  /// sharded engine folds per-shard registry/cache counters into one
+  /// engine-level snapshot, and how callers aggregate across trials —
+  /// summing is the right fold even for the gauge-like registry fields
+  /// (live/allocated/capacity/entries), which become totals across the
+  /// merged parts.
+  EngineMetrics& merge(const EngineMetrics& other);
+  EngineMetrics& operator+=(const EngineMetrics& other) {
+    return merge(other);
+  }
+  friend EngineMetrics operator+(EngineMetrics lhs, const EngineMetrics& rhs) {
+    lhs.merge(rhs);
+    return lhs;
+  }
 };
 
 /// Version of the EngineMetrics JSON field set.  Bump when fields are

@@ -89,4 +89,16 @@ void sample_multivariate_hypergeometric(
   return;
 }
 
+std::pair<bool, bool> pick_collision_sides(util::Rng& rng,
+                                           std::uint64_t used_total,
+                                           std::uint64_t unused_total) {
+  const std::uint64_t w_uu = used_total * (used_total - 1);
+  const std::uint64_t w_ux = used_total * unused_total;
+  const std::uint64_t w_xu = unused_total * used_total;
+  const std::uint64_t pick = rng.below(w_uu + w_ux + w_xu);
+  const bool init_used = pick < w_uu + w_ux;
+  const bool resp_used = pick < w_uu || pick >= w_uu + w_ux;
+  return {init_used, resp_used};
+}
+
 }  // namespace ssle::pp

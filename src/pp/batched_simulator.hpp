@@ -10,7 +10,7 @@
 //      already touched in this block (inverse-transform over the exact
 //      birthday survival probabilities ∏ (n-2t)(n-2t-1)/(n(n-1))).
 //   2. The L = T-1 collision-free interactions involve 2L *distinct* agents
-//      drawn uniformly without replacement.  Two interchangeable, exact
+//      drawn uniformly without replacement.  Three interchangeable, exact
 //      samplers realize that draw (selected per block, see BlockSampling):
 //        * dense: the 2L states are a multivariate hypergeometric draw
 //          from the counts; splitting them into initiators/responders and
@@ -27,6 +27,12 @@
 //          O(q) term anywhere, which is what keeps q ≈ n registries
 //          (ElectLeader_r once identifiers/ranks spread) from paying an
 //          O(q/√n) = O(√n) tax on every interaction.
+//        * flat: the Fenwick path's draw law and RNG stream exactly, but
+//          each class resolves by a branchless cumulative scan over a
+//          dense snapshot of the counts, with the registry's point
+//          updates deferred to one per-class reconciliation at block end.
+//          Breaks the Fenwick descent's pointer-chasing floor when the
+//          registry is narrow (q ≤ kFlatMaxStates).
 //   3. The colliding interaction T is executed individually: conditioned on
 //      "at least one participant was already used", the pair is sampled
 //      from the tracked used/unused multisets, which is exact because agent
@@ -53,11 +59,12 @@
 // truncating a block at a probe boundary) reproduces the sequential
 // process's distribution exactly — BatchedSimulator and Simulator are
 // statistically indistinguishable, which tests/test_batched_simulator.cpp
-// checks empirically, for both block samplers.  The two samplers draw
-// different amounts of randomness from the scheduler stream, so switching
-// BlockSampling changes per-seed trajectories; equivalence across samplers
-// (and against the naive engine) is statistical, never bit-identical.
-// Expected block length is L = Θ(√n).
+// checks empirically, for every block sampler.  The dense sampler draws
+// different randomness from the scheduler stream than the per-draw ones,
+// so switching between them changes per-seed trajectories and equivalence
+// is statistical — EXCEPT flat vs Fenwick, which consume the identical
+// stream and are bit-identical per seed.  Expected block length is
+// L = Θ(√n).
 //
 // The API mirrors Simulator (`step`, `run_until`, RunResult, probe
 // semantics); predicates observe the CountsConfiguration instead of the
@@ -85,9 +92,24 @@ namespace ssle::pp {
 
 /// How a block's 2L collision-free agents are sampled from the registry.
 /// kAuto picks per block: Fenwick when the registry scan would dominate
-/// (q large relative to L·log q), dense otherwise.  kDense / kFenwick pin
-/// one path — for tests and benchmarks; both are exact.
-enum class BlockSampling { kAuto, kDense, kFenwick };
+/// (q large relative to L·log q), dense otherwise — and substitutes the
+/// flat sampler for Fenwick when the registry is narrow (q ≤ 64), which
+/// preserves the RNG stream exactly (see kFlat).  kDense / kFenwick /
+/// kFlat pin one path — for tests and benchmarks; all are exact.
+///
+/// kFlat is the small-q per-draw sampler: the same draw law and scheduler
+/// stream as kFenwick, but classes resolve through a branchless cumulative
+/// scan over a dense SoA copy of the counts instead of a Fenwick descent,
+/// and the registry's O(log q) point updates are deferred to one per-block
+/// reconciliation.  kFlat and kFenwick runs are bit-identical per seed
+/// (unlike dense vs Fenwick, which draw different randomness).
+enum class BlockSampling { kAuto, kDense, kFenwick, kFlat };
+
+/// Registry-width ceiling for kAuto's flat-for-Fenwick substitution: a
+/// linear cumulative scan touches q counts per draw (one cache line per 8),
+/// a Fenwick descent ~log2 q scattered nodes; the scan's branchless body
+/// and dense locality win while q stays within a few cache lines.
+inline constexpr std::uint32_t kFlatMaxStates = 64;
 
 /// Whether a kDeterministicDelta protocol's transitions go through the
 /// memoized DeltaCache.  kDisabled pins the uncached path (A/B benches,
@@ -109,6 +131,89 @@ void sample_multivariate_hypergeometric(util::Rng& rng,
                                         const std::vector<std::uint64_t>& counts,
                                         std::uint64_t draws,
                                         std::vector<std::uint64_t>& out);
+
+/// Which sides of a block's colliding interaction come from the used pool:
+/// conditioned on "at least one participant used", the ordered pair is
+/// (used, used) / (used, unused) / (unused, used) with weights
+/// u(u-1) / u·x / x·u.  Shared by every uniform-pair block engine (both
+/// batched samplers and the sharded engine) — this is exactness-critical
+/// probability code and must never diverge between the paths.
+std::pair<bool, bool> pick_collision_sides(util::Rng& rng,
+                                           std::uint64_t used_total,
+                                           std::uint64_t unused_total);
+
+/// First-collision block-length sampler shared by the uniform-pair block
+/// engines (batched, sharded): the log-survival table of the birthday
+/// process over n agents, plus the inverse-transform draw.  Blocks are
+/// stopping times of the counts chain, so any engine that draws its block
+/// lengths from this law and realizes the conditional in-block pair
+/// process exactly reproduces the sequential scheduler's distribution.
+class BlockLengthSampler {
+ public:
+  /// Builds log P(T > t), the log-survival of the first-collision time T,
+  /// at every t: ∏_{s<t} (n-2s)(n-2s-1)/(n(n-1)).  Entries stop below
+  /// -40 < log(2^-53), the log of the smallest positive value real() can
+  /// produce, so every inverse-transform draw resolves inside the table.
+  /// Length is Θ(√n); build once (interactions conserve agents, so n is
+  /// fixed for an engine's lifetime).
+  void build(std::uint64_t n) {
+    const double log_denom = std::log(static_cast<double>(n)) +
+                             std::log(static_cast<double>(n - 1));
+    log_survival_.clear();
+    log_survival_.push_back(0.0);  // P(T > 0) = 1
+    double acc = 0.0;
+    for (std::uint64_t t = 0; acc > -40.0; ++t) {
+      const std::uint64_t used = 2 * t;
+      if (n < used + 2) break;  // survival hits exactly 0: all agents used
+      acc += std::log(static_cast<double>(n - used)) +
+             std::log(static_cast<double>(n - used - 1)) - log_denom;
+      log_survival_.push_back(acc);
+    }
+  }
+
+  bool ready() const { return !log_survival_.empty(); }
+
+  struct Draw {
+    std::uint64_t length;  ///< L, the collision-free prefix (≤ cap)
+    bool collided;         ///< whether a colliding interaction ends the block
+  };
+
+  /// One inverse-transform draw of the first-collision time, capped at
+  /// `cap` interactions: T is the smallest t with log P(T > t) ≤ log u,
+  /// L = T - 1 (T ≥ 2 always: the first step cannot collide).  Not finding
+  /// T within the first cap entries means the block is cut collision-free
+  /// at the cap.  Consumes exactly one rng.real().
+  Draw draw(util::Rng& rng, std::uint64_t cap) const {
+    std::uint64_t L = cap;
+    bool collided = false;
+    double u = rng.real();
+    if (u <= 0.0) u = 0x1.0p-53;  // real() granularity; log(0) guard
+    const double lu = std::log(u);
+    const auto begin = log_survival_.begin();
+    // Search indices t = 0 .. min(cap, last table index).
+    const std::size_t entries =
+        static_cast<std::size_t>(
+            std::min<std::uint64_t>(cap, log_survival_.size() - 1)) + 1;
+    const auto end = begin + entries;
+    const auto it = std::lower_bound(
+        begin, end, lu, [](double s, double target) { return s > target; });
+    if (it != end) {
+      // Found the first t ≤ cap with S_t ≤ u: collision at step t.
+      collided = true;
+      L = static_cast<std::uint64_t>(it - begin) - 1;
+    } else if (cap >= log_survival_.size()) {
+      // The whole table survived the draw but the process walked off its
+      // end, where survival is exactly 0 (all agents used): the very next
+      // step must collide.
+      collided = true;
+      L = log_survival_.size() - 1;
+    }
+    return {L, collided};
+  }
+
+ private:
+  std::vector<double> log_survival_;  ///< log P(first collision > t), Θ(√n)
+};
 
 /// A configuration the batched engine can advance *exactly*: a counts
 /// projection that is itself a Markov chain (a lumping of the agent-level
@@ -230,6 +335,10 @@ class BatchedSimulator {
   /// workload actually exercised; tests pin kAuto's choice down).
   std::uint64_t dense_blocks() const { return dense_blocks_; }
   std::uint64_t fenwick_blocks() const { return fenwick_blocks_; }
+  std::uint64_t flat_blocks() const { return flat_blocks_; }
+  /// Per-draw samples resolved by the flat cumulative scan (the flat
+  /// path's twin of the registry's fenwick_samples counter).
+  std::uint64_t flat_scan_draws() const { return flat_draws_; }
 
   /// Memoized-transition statistics (kDeterministicDelta protocols with
   /// DeltaMemo::kEnabled only; all zero otherwise).
@@ -255,6 +364,8 @@ class BatchedSimulator {
     m.interactions_iterated = interactions_;
     m.blocks_dense = dense_blocks_;
     m.blocks_fenwick = fenwick_blocks_;
+    m.blocks_flat = flat_blocks_;
+    m.flat_scan_draws = flat_draws_;
     m.collision_resolutions = collisions_;
     m.community_pair_draws = community_draws_;
     m.fenwick_point_updates = config_.fenwick_updates();
@@ -293,66 +404,21 @@ class BatchedSimulator {
     apply_collision(ia, ib);
   }
 
-  /// Builds log P(T > t), the log-survival of the first-collision time T,
-  /// at every t: ∏_{s<t} (n-2s)(n-2s-1)/(n(n-1)).  Entries stop below
-  /// -40 < log(2^-53), the log of the smallest positive value real() can
-  /// produce, so every inverse-transform draw resolves inside the table.
-  /// Length is Θ(√n); built once (interactions conserve agents, so n is
-  /// fixed for the simulator's lifetime).
-  void build_survival_table() {
-    const std::uint64_t n = config_.population_size();
-    const double log_denom = std::log(static_cast<double>(n)) +
-                             std::log(static_cast<double>(n - 1));
-    log_survival_.clear();
-    log_survival_.push_back(0.0);  // P(T > 0) = 1
-    double acc = 0.0;
-    for (std::uint64_t t = 0; acc > -40.0; ++t) {
-      const std::uint64_t used = 2 * t;
-      if (n < used + 2) break;  // survival hits exactly 0: all agents used
-      acc += std::log(static_cast<double>(n - used)) +
-             std::log(static_cast<double>(n - used - 1)) - log_denom;
-      log_survival_.push_back(acc);
-    }
-  }
-
   /// Runs one block of at most `cap` interactions; returns how many ran.
   std::uint64_t run_block(std::uint64_t cap) {
     const std::uint64_t n = config_.population_size();
 
-    // 1. First-collision time T via inverse transform on the precomputed
-    // log-survival table: T is the smallest t with log P(T > t) ≤ log u.
-    // L is the collision-free prefix (T ≥ 2 always: the first step cannot
-    // collide).  Not finding T within the first cap entries means the
-    // block is cut collision-free at the cap.
-    if (log_survival_.empty()) build_survival_table();
-    std::uint64_t L = cap;
-    bool collided = false;
-    {
-      double u = rng_.real();
-      if (u <= 0.0) u = 0x1.0p-53;  // real() granularity; log(0) guard
-      const double lu = std::log(u);
-      const auto begin = log_survival_.begin();
-      // Search indices t = 0 .. min(cap, last table index).
-      const std::size_t entries =
-          static_cast<std::size_t>(std::min<std::uint64_t>(
-              cap, log_survival_.size() - 1)) + 1;
-      const auto end = begin + entries;
-      const auto it = std::lower_bound(
-          begin, end, lu, [](double s, double target) { return s > target; });
-      if (it != end) {
-        // Found the first t ≤ cap with S_t ≤ u: collision at step t.
-        collided = true;
-        L = static_cast<std::uint64_t>(it - begin) - 1;
-      } else if (cap >= log_survival_.size()) {
-        // The whole table survived the draw but the process walked off its
-        // end, where survival is exactly 0 (all agents used): the very
-        // next step must collide.
-        collided = true;
-        L = log_survival_.size() - 1;
-      }
-    }
+    // 1. First-collision time T (shared BlockLengthSampler): L is the
+    // collision-free prefix; not finding T within the first cap entries
+    // means the block is cut collision-free at the cap.
+    if (!block_length_.ready()) block_length_.build(n);
+    const auto [L, collided] = block_length_.draw(rng_, cap);
 
-    if (use_fenwick_block(config_.num_states(), L)) {
+    const std::uint32_t q = config_.num_states();
+    if (use_flat_block(q, L)) {
+      ++flat_blocks_;
+      run_block_flat(n, L, collided);
+    } else if (use_fenwick_block(q, L)) {
       ++fenwick_blocks_;
       run_block_fenwick(n, L, collided);
     } else {
@@ -362,17 +428,35 @@ class BatchedSimulator {
     return L + (collided ? 1 : 0);
   }
 
-  /// kAuto's per-block sampler choice.  Dense block sampling scans Θ(q)
-  /// registry entries (a heavyweight hypergeometric evaluation per visited
-  /// class); the Fenwick path pays ~2L tree descents of ~log2 q steps.
-  /// The factor 2 biases toward the dense path, which additionally enjoys
-  /// the bulk same-pair-type fast path for deterministic protocols.
+  /// The per-draw paths (flat, Fenwick) beat the dense registry scan when
+  /// q is large relative to the block: the dense path pays a heavyweight
+  /// hypergeometric evaluation per visited class, the per-draw paths
+  /// ~2L tree descents of ~log2 q steps.  The factor 2 biases toward the
+  /// dense path, which additionally enjoys the bulk same-pair-type fast
+  /// path for deterministic protocols.
+  static bool per_draw_beats_dense(std::uint32_t q, std::uint64_t L) {
+    return static_cast<std::uint64_t>(q) >
+           2 * L * static_cast<std::uint64_t>(std::bit_width(q));
+  }
+
+  /// kAuto substitutes the flat sampler exactly where it would have chosen
+  /// Fenwick AND the registry is narrow enough that a linear scan beats
+  /// the tree descent.  Because kFlat and kFenwick consume the identical
+  /// RNG stream, this substitution leaves every kAuto trajectory
+  /// bit-identical to what it was before kFlat existed — the auto rule is
+  /// a pure speed choice, never a distributional one.
+  bool use_flat_block(std::uint32_t q, std::uint64_t L) const {
+    if (sampling_ == BlockSampling::kFlat) return true;
+    if (sampling_ != BlockSampling::kAuto) return false;
+    return q <= kFlatMaxStates && per_draw_beats_dense(q, L);
+  }
+
+  /// kAuto's Fenwick-vs-dense choice (checked after use_flat_block).
   bool use_fenwick_block(std::uint32_t q, std::uint64_t L) const {
     if (sampling_ != BlockSampling::kAuto) {
       return sampling_ == BlockSampling::kFenwick;
     }
-    return static_cast<std::uint64_t>(q) >
-           2 * L * static_cast<std::uint64_t>(std::bit_width(q));
+    return per_draw_beats_dense(q, L);
   }
 
   /// Dense sampler: 2L distinct agents without replacement as one
@@ -419,7 +503,7 @@ class BatchedSimulator {
       const std::uint64_t used_total = 2 * L;
       const std::uint64_t unused_total = n - used_total;
       const auto [init_used, resp_used] =
-          pick_collision_sides(used_total, unused_total);
+          pick_collision_sides(rng_, used_total, unused_total);
 
       const std::uint32_t ai =
           init_used ? draw_used(used_total) : draw_unused(unused_total);
@@ -484,7 +568,7 @@ class BatchedSimulator {
       const std::uint64_t used_total = 2 * L;
       const std::uint64_t unused_total = n - used_total;
       const auto [init_used, resp_used] =
-          pick_collision_sides(used_total, unused_total);
+          pick_collision_sides(rng_, used_total, unused_total);
 
       std::uint32_t ai, bi;
       if (init_used) {
@@ -516,21 +600,126 @@ class BatchedSimulator {
     touched_.clear();
   }
 
-  /// Which sides of the colliding interaction come from the used pool:
-  /// conditioned on "at least one participant used", the ordered pair is
-  /// (used, used) / (used, unused) / (unused, used) with weights
-  /// u(u-1) / u·x / x·u.  Shared by both block samplers — this is
-  /// exactness-critical probability code and must never diverge between
-  /// the paths.
-  std::pair<bool, bool> pick_collision_sides(std::uint64_t used_total,
-                                             std::uint64_t unused_total) {
-    const std::uint64_t w_uu = used_total * (used_total - 1);
-    const std::uint64_t w_ux = used_total * unused_total;
-    const std::uint64_t w_xu = unused_total * used_total;
-    const std::uint64_t pick = rng_.below(w_uu + w_ux + w_xu);
-    const bool init_used = pick < w_uu + w_ux;
-    const bool resp_used = pick < w_uu || pick >= w_uu + w_ux;
-    return {init_used, resp_used};
+  /// Flat sampler: the same draw law AND the same scheduler stream as the
+  /// Fenwick path — every rng_ consumption below mirrors run_block_fenwick
+  /// call for call, and each uniform position resolves to the identical
+  /// registry class (both pick the unique idx with cum(idx) ≤ pos <
+  /// cum(idx+1) in registry order) — so kFlat and kFenwick trajectories
+  /// are bit-identical per seed.  What changes is the machinery: classes
+  /// resolve by a branchless cumulative scan over a dense snapshot of the
+  /// counts (flat_counts_), draws are tallied in flat_drawn_, and the
+  /// registry's O(log q) Fenwick point updates are deferred to ONE
+  /// reconciliation per touched class at block end.  Per block:
+  /// O(q + L·q) flat arithmetic + O(q·log q) reconcile, vs the Fenwick
+  /// path's O(L·log q) pointer-chasing descents — the scan wins while q
+  /// stays within a few cache lines (q ≤ kFlatMaxStates ≈ 64).
+  void run_block_flat(std::uint64_t n, std::uint64_t L, bool collided) {
+    const std::uint32_t q = config_.num_states();
+    flat_counts_.assign(config_.counts().begin(), config_.counts().end());
+    if (flat_drawn_.size() < q) flat_drawn_.resize(q, 0);
+
+    // 2L collision-free agents, one per-draw sample each, consuming
+    // rng_.below(n - t) exactly like the Fenwick path.  config_ itself is
+    // NOT decremented here — the snapshot is; drawn classes reconcile once
+    // at block end.  New classes interned mid-block (δ outputs) have count
+    // zero in both views, so they are never drawable either way.
+    seq_.clear();
+    for (std::uint64_t t = 0; t < 2 * L; ++t) {
+      const std::uint32_t idx = flat_pick(rng_.below(n - t));
+      flat_counts_[idx] -= 1;
+      flat_drawn_[idx] += 1;
+      seq_.push_back(idx);
+    }
+    flat_draws_ += 2 * L;
+    for (std::uint64_t t = 0; t < L; ++t) {
+      const std::uint32_t ia = seq_[2 * t];
+      const std::uint32_t ib = seq_[2 * t + 1];
+      if constexpr (kDeterministicDelta<P>) {
+        const auto [oa, ob] = delta_outputs(ia, ib);
+        record_used_id(oa);
+        record_used_id(ob);
+      } else {
+        State& sa = assign_scratch(scratch_a_, ia);
+        State& sb = assign_scratch(scratch_b_, ib);
+        protocol_.interact(sa, sb, agent_rng_);
+        record_used_id(config_.index_near(sa, ia));
+        record_used_id(config_.index_near(sb, ib));
+      }
+    }
+
+    if (collided) {
+      const std::uint64_t used_total = 2 * L;
+      const std::uint64_t unused_total = n - used_total;
+      const auto [init_used, resp_used] =
+          pick_collision_sides(rng_, used_total, unused_total);
+
+      // flat_counts_ is exactly the unused multiset here (snapshot minus
+      // the 2L draws), so flat_pick replaces the Fenwick path's
+      // config_.sample_class over the decremented registry, position for
+      // position.
+      std::uint32_t ai, bi;
+      if (init_used) {
+        ai = draw_used_sparse(used_total);
+        if (resp_used) {
+          // Same pool: draw the responder without replacement.
+          used_[ai] -= 1;
+          bi = draw_used_sparse(used_total - 1);
+          used_[ai] += 1;
+        } else {
+          bi = flat_pick(rng_.below(unused_total));
+        }
+      } else {
+        ai = flat_pick(rng_.below(unused_total));
+        bi = draw_used_sparse(used_total);
+      }
+      flat_draws_ += (init_used ? 0 : 1) + ((resp_used || !init_used) ? 0 : 1);
+
+      if (init_used) {
+        used_[ai] -= 1;
+      } else {
+        flat_counts_[ai] -= 1;
+        flat_drawn_[ai] += 1;
+      }
+      if (resp_used) {
+        used_[bi] -= 1;
+      } else {
+        flat_counts_[bi] -= 1;
+        flat_drawn_[bi] += 1;
+      }
+      apply_collision(ai, bi);
+    }
+
+    // Reconcile: return the block's post-states (touched entries only),
+    // then charge each drawn class's total to the registry in one
+    // remove_at.  Adding before removing keeps every intermediate count
+    // non-negative without needing the two loops to visit classes in any
+    // particular order.
+    for (const std::uint32_t idx : touched_) {
+      if (used_[idx] > 0) config_.add_at(idx, used_[idx]);
+      used_[idx] = 0;
+    }
+    touched_.clear();
+    for (std::uint32_t i = 0; i < q; ++i) {
+      if (flat_drawn_[i] > 0) {
+        config_.remove_at(i, flat_drawn_[i]);
+        flat_drawn_[i] = 0;
+      }
+    }
+  }
+
+  /// The class containing uniform position `pos` of the flat snapshot:
+  /// the unique idx with cum(idx) ≤ pos < cum(idx+1) — the same class a
+  /// Fenwick descent over equal counts returns.  Branchless: one pass of
+  /// add + compare over a dense array the whole of which fits in a few
+  /// cache lines, no data-dependent branches for the predictor to miss.
+  std::uint32_t flat_pick(std::uint64_t pos) const {
+    std::uint32_t idx = 0;
+    std::uint64_t cum = 0;
+    for (const std::uint64_t c : flat_counts_) {
+      cum += c;
+      idx += static_cast<std::uint32_t>(cum <= pos);
+    }
+    return idx;
   }
 
   /// Output ids of the interaction (ia, ib): memoized lookup when enabled,
@@ -657,12 +846,13 @@ class BatchedSimulator {
   /// stable, nothing else needs re-deriving except the memoized
   /// transition cache, whose entries may name reclaimed ids.
   void maybe_compact() {
-    const std::uint32_t allocated = config_.num_allocated_states();
-    if (allocated < 32) return;
-    if (2 * config_.num_live_states() <= allocated) {
+    if (config_.should_compact()) {
       config_.compact();
       if (used_.size() > config_.num_states()) {
         used_.resize(config_.num_states());
+      }
+      if (flat_drawn_.size() > config_.num_states()) {
+        flat_drawn_.resize(config_.num_states());  // all-zero between blocks
       }
       if constexpr (kDeterministicDelta<P>) {
         delta_cache_.clear();
@@ -710,6 +900,8 @@ class BatchedSimulator {
   std::uint64_t interactions_ = 0;
   std::uint64_t dense_blocks_ = 0;
   std::uint64_t fenwick_blocks_ = 0;
+  std::uint64_t flat_blocks_ = 0;
+  std::uint64_t flat_draws_ = 0;        ///< flat-path per-draw samples
   std::uint64_t collisions_ = 0;        ///< colliding interactions resolved
   std::uint64_t community_draws_ = 0;   ///< community path: pairs drawn
 
@@ -718,7 +910,7 @@ class BatchedSimulator {
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_clears_ = 0;
 
-  std::vector<double> log_survival_;  ///< log P(first collision > t), Θ(√n)
+  BlockLengthSampler block_length_;  ///< first-collision law, built on n
 
   // Persistent δ scratch (optional: State need not be default-
   // constructible).  proto_a_/proto_b_ hold a dense pair type's inputs
@@ -739,6 +931,8 @@ class BatchedSimulator {
   std::vector<std::uint64_t> match_;  ///< per-initiator-state matching
   std::vector<std::uint32_t> seq_;      ///< Fenwick path: drawn classes, 2L
   std::vector<std::uint32_t> touched_;  ///< Fenwick path: used_ support
+  std::vector<std::uint64_t> flat_counts_;  ///< flat path: counts snapshot
+  std::vector<std::uint64_t> flat_drawn_;   ///< flat path: per-class draws
 };
 
 }  // namespace ssle::pp

@@ -124,6 +124,7 @@ class CommunityCountsConfiguration {
   std::uint64_t fenwick_updates() const { return kernel_.fenwick_updates(); }
   std::uint64_t fenwick_samples() const { return kernel_.fenwick_samples(); }
   std::uint64_t compactions() const { return kernel_.compactions(); }
+  bool should_compact() const { return kernel_.should_compact(); }
 
   /// The protocol state class idx stands for (community stripped — this is
   /// what δ consumes; δ is community-oblivious).

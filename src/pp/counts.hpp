@@ -193,6 +193,32 @@ class CountsKernel {
     return c;
   }
 
+  /// Absolute dead-id bound for should_compact(): with q ≈ n live states
+  /// (ElectLeader_r at n = 10^5+) the fraction rule alone would wait for
+  /// dead ≥ live — stranding 10^5+ dead heavy states in the arena — so the
+  /// policy also fires once this many dead ids accumulate.  Large enough
+  /// that a compact()'s O(capacity) rebuild amortizes to O(1) per dead id
+  /// at any capacity the engines reach.
+  static constexpr std::uint32_t kCompactDeadAbsolute = 1u << 16;
+
+  /// Compaction policy: whether the registry carries enough dead
+  /// (zero-count) ids for compact() to be worth its O(capacity) rebuild.
+  /// Fires on EITHER
+  ///   * dead-id fraction — dead ids are at least half the allocation, so
+  ///     compacting roughly halves the arena (the long-standing rule), OR
+  ///   * dead-id count — at least kCompactDeadAbsolute dead ids, which
+  ///     bounds the dead tail of huge live registries long before the
+  ///     fraction rule's dead ≥ live threshold can trigger (long churny
+  ///     runs: adversarial recovery cycles, sharded sub-registries).
+  /// Tiny registries (< 32 allocations) never fire.  All inputs are O(1)
+  /// incremental counters, so engines can ask once per block for free.
+  bool should_compact() const {
+    const std::uint32_t allocated = num_allocated_states();
+    if (allocated < 32) return false;
+    const std::uint32_t dead = allocated - live_;
+    return 2 * live_ <= allocated || dead >= kCompactDeadAbsolute;
+  }
+
   /// Releases every zero-count id to the interner's free list (it will be
   /// reused by future registrations) and trims trailing reclaimed slots.
   /// Live ids — and all their Fenwick sums — are untouched: no re-indexing

@@ -200,9 +200,15 @@ class StateInterner {
     }
   }
 
+  // Hot id-indexed fields are separate dense arrays (SoA): hashes_ and
+  // alive_ are the two fields every table probe / allocated() check reads,
+  // and keeping them out of the (possibly fat) state arena keeps those
+  // reads cache-dense.  alive_ is a byte array, not vector<bool>: the
+  // allocated() check sits on the hinted re-intern fast path of every
+  // engine, and a plain byte load beats a bit-extract there.
   std::vector<S> arena_;              ///< id → state (append-only + reuse)
   std::vector<std::size_t> hashes_;   ///< id → cached hash (hashable only)
-  std::vector<bool> alive_;           ///< id → currently allocated?
+  std::vector<std::uint8_t> alive_;   ///< id → currently allocated? (0/1)
   std::vector<std::uint32_t> free_;   ///< reclaimed ids awaiting reuse
   /// Open-addressing id table (hashable only), power-of-two sized.
   std::vector<std::uint32_t> table_ = std::vector<std::uint32_t>(16, kNoId);

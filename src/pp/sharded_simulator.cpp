@@ -1,0 +1,14 @@
+#include "pp/sharded_simulator.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ssle::pp {
+
+std::size_t default_shard_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : hw;
+  return std::clamp<std::size_t>(cores, 1, 8);
+}
+
+}  // namespace ssle::pp

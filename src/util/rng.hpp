@@ -99,6 +99,35 @@ class Rng {
 
   bool coin() { return (next() >> 63) != 0; }
 
+  /// Derives the k-th child generator from this generator's CURRENT state,
+  /// without consuming any of the parent's randomness (the parent's next
+  /// draw is the same whether or not split was called).  Stream-identity
+  /// guarantees, pinned by tests/test_rng.cpp:
+  ///
+  ///   * deterministic — the same parent state and the same k always yield
+  ///     the same child, on every platform;
+  ///   * parent-independent — split() is const: it never advances the
+  ///     parent, and the child owns fresh state, so interleaving child and
+  ///     parent draws in any order cannot change either stream;
+  ///   * pairwise distinct — children for different k (and children of
+  ///     parents differing in ANY state word) are seeded through SplitMix64
+  ///     chains over (k, full 256-bit state), the same whitening the seed
+  ///     path uses, so distinct inputs give statistically independent
+  ///     streams (no additive-lattice correlations between siblings).
+  ///
+  /// This is how one run seed fans out into per-shard scheduler and agent
+  /// streams in the sharded engine: substream() keys top-level components,
+  /// split() keys dynamic per-component families.
+  Rng split(std::uint64_t k) const {
+    SplitMix64 mix(0x8e9d3c1fb2a45679ULL ^ (k * 0x9e3779b97f4a7c15ULL));
+    std::uint64_t acc = mix.next();
+    for (const std::uint64_t w : state_) {
+      SplitMix64 m(acc ^ w);
+      acc = m.next();
+    }
+    return Rng(acc);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

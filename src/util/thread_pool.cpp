@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace ssle::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::note_error() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!error_) error_ = std::current_exception();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline fallback: same error contract as the threaded path (captured,
+    // rethrown by wait_idle), so callers never branch on thread_count().
+    try {
+      task();
+    } catch (...) {
+      note_error();
+    }
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  if (error_) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // One shared claim counter; each executor (helpers + the caller) loops
+  // claiming the next index until exhausted.  An exception drains the
+  // counter so everyone stops promptly; wait_idle rethrows it.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const auto work = [this, next, count, &body] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        note_error();
+        next->store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  const std::size_t helpers = std::min(thread_count(), count - 1);
+  for (std::size_t h = 0; h < helpers; ++h) submit(work);
+  work();  // the calling thread participates
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      note_error();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace ssle::util

@@ -108,6 +108,76 @@ TEST(Counts, ChurnWithCompactKeepsTheRegistryBounded) {
   }
 }
 
+TEST(Counts, ShouldCompactNeverFiresOnTinyRegistries) {
+  // < 32 allocations: compact()'s O(capacity) rebuild isn't worth asking
+  // about, no matter how dead the registry is.
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  for (int s = 0; s < 20; ++s) config.add(s, 1);
+  for (int s = 1; s < 20; ++s) config.remove_at(config.index_of(s), 1);
+  EXPECT_EQ(config.num_live_states(), 1u);
+  EXPECT_FALSE(config.should_compact());
+}
+
+TEST(Counts, ShouldCompactFiresOnTheDeadFractionRule) {
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  for (int s = 0; s < 64; ++s) config.add(s, 1);
+  EXPECT_FALSE(config.should_compact());  // fully live
+  // Kill classes until dead ids are at least half the allocation.
+  for (int s = 0; s < 31; ++s) config.remove_at(config.index_of(s), 1);
+  EXPECT_FALSE(config.should_compact());  // 33 live of 64: not yet
+  config.remove_at(config.index_of(31), 1);
+  EXPECT_TRUE(config.should_compact());  // 32 live of 64: 2·live ≤ allocated
+  config.compact();
+  EXPECT_FALSE(config.should_compact());  // all dead ids reclaimed
+  EXPECT_EQ(config.num_live_states(), 32u);
+}
+
+TEST(Counts, ShouldCompactFiresOnTheAbsoluteDeadRule) {
+  // q ≈ n regime: with far more live than dead states the fraction rule
+  // would wait for dead ≥ live, stranding a huge dead tail.  The policy's
+  // absolute clause must fire at kCompactDeadAbsolute dead ids regardless.
+  using Kernel = CountsKernel<int>;
+  const std::uint32_t dead_bound = Kernel::kCompactDeadAbsolute;
+  const std::uint32_t live = 3 * dead_bound;
+  CountsConfiguration<Epidemic> config(std::vector<int>{});
+  for (std::uint32_t s = 0; s < live + dead_bound; ++s) {
+    config.add(static_cast<int>(s), 1);
+  }
+  for (std::uint32_t s = 0; s < dead_bound - 1; ++s) {
+    config.remove_at(config.index_of(static_cast<int>(s)), 1);
+  }
+  // dead = bound - 1 and 2·live > allocated: neither clause fires.
+  EXPECT_FALSE(config.should_compact());
+  config.remove_at(config.index_of(static_cast<int>(dead_bound - 1)), 1);
+  EXPECT_TRUE(config.should_compact());  // dead == bound
+  config.compact();
+  EXPECT_FALSE(config.should_compact());
+  EXPECT_EQ(config.population_size(), static_cast<std::uint64_t>(live));
+}
+
+TEST(Counts, PolicyDrivenChurnKeepsTheRegistryBoundedAndExact) {
+  // The engine-side loop: churn the whole population through fresh states
+  // and compact only when should_compact() says so — the policy must both
+  // trigger often enough to bound the registry and never corrupt counts.
+  CountsConfiguration<Epidemic> config(std::vector<int>(64, 0));
+  int next_state = 1;
+  std::uint64_t compactions = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 64; ++i) {
+      config.remove_at(config.sample_class(0), 1);
+      config.add(next_state++, 1);
+    }
+    if (config.should_compact()) {
+      config.compact();
+      ++compactions;
+    }
+    ASSERT_EQ(config.population_size(), 64u);
+    ASSERT_EQ(config.num_live_states(), 64u);
+    ASSERT_LE(config.num_states(), 256u) << "cycle " << cycle;
+  }
+  EXPECT_GT(compactions, 10u);  // the fraction rule fires every few cycles
+}
+
 TEST(Counts, CountIfAndForEach) {
   CountsConfiguration<Epidemic> config(std::vector<int>{1, 0, 1, 1, 0});
   EXPECT_EQ(config.count_if([](int s) { return s == 1; }), 3u);

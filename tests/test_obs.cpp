@@ -33,6 +33,7 @@
 #include "pp/epidemic.hpp"
 #include "pp/graph.hpp"
 #include "pp/leaping_simulator.hpp"
+#include "pp/sharded_simulator.hpp"
 #include "pp/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -130,6 +131,73 @@ TEST(EngineMetrics, ToJsonCarriesEngineAndCounters) {
   const std::string line = sim.metrics().to_json().dump_line();
   EXPECT_NE(line.find("\"engine\":\"batched\""), std::string::npos);
   EXPECT_NE(line.find("\"interactions\":64"), std::string::npos);
+}
+
+TEST(EngineMetrics, ToJsonCarriesFlatAndShardCounters) {
+  pp::Epidemic proto{64};
+  pp::ShardedSimulator<pp::Epidemic> sim(proto, 1, /*shard_count=*/2);
+  sim.step(500);
+  const std::string line = sim.metrics().to_json().dump_line();
+  EXPECT_NE(line.find("\"engine\":\"sharded\""), std::string::npos);
+  EXPECT_NE(line.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"blocks_flat\":"), std::string::npos);
+  EXPECT_NE(line.find("\"flat_scan_draws\":"), std::string::npos);
+  EXPECT_NE(line.find("\"intra_shard_interactions\":"), std::string::npos);
+  EXPECT_NE(line.find("\"cross_shard_interactions\":"), std::string::npos);
+}
+
+TEST(EngineMetrics, MergeSumsCountersAndTakesTheDepthMax) {
+  obs::EngineMetrics a;
+  a.engine = "batched";
+  a.interactions = 100;
+  a.blocks_flat = 3;
+  a.flat_scan_draws = 40;
+  a.delta_cache_hits = 7;
+  a.split_depth_max = 2;
+  obs::EngineMetrics b;
+  b.engine = "leaping";
+  b.interactions = 11;
+  b.blocks_flat = 1;
+  b.intra_shard_interactions = 5;
+  b.split_depth_max = 6;
+
+  obs::EngineMetrics m = a;
+  m.merge(b);
+  EXPECT_STREQ(m.engine, "batched");  // lhs label wins when set
+  EXPECT_EQ(m.interactions, 111u);
+  EXPECT_EQ(m.blocks_flat, 4u);
+  EXPECT_EQ(m.flat_scan_draws, 40u);
+  EXPECT_EQ(m.delta_cache_hits, 7u);
+  EXPECT_EQ(m.intra_shard_interactions, 5u);
+  EXPECT_EQ(m.split_depth_max, 6u);  // max, not sum
+
+  // An unlabeled accumulator adopts the first labeled operand — the
+  // pattern a per-shard reduction uses.
+  obs::EngineMetrics acc;
+  acc += a;
+  acc += b;
+  EXPECT_STREQ(acc.engine, "batched");
+  EXPECT_EQ(acc.interactions, 111u);
+
+  const obs::EngineMetrics sum = a + b;
+  EXPECT_EQ(sum.interactions, 111u);
+  EXPECT_EQ(sum.split_depth_max, 6u);
+}
+
+TEST(EngineMetrics, ShardedCountersReconcile) {
+  // The engine-level invariant documented in obs/metrics.hpp:
+  //   intra + cross + collisions == interactions (n ≥ 2).
+  pp::Epidemic proto{128};
+  pp::ShardedSimulator<pp::Epidemic> sim(proto, 13, /*shard_count=*/4);
+  sim.step(3000);
+  const obs::EngineMetrics m = sim.metrics();
+  EXPECT_STREQ(m.engine, "sharded");
+  EXPECT_EQ(m.shards, 4u);
+  EXPECT_EQ(m.interactions, 3000u);
+  EXPECT_EQ(m.intra_shard_interactions + m.cross_shard_interactions +
+                m.collision_resolutions,
+            m.interactions);
+  EXPECT_EQ(m.interactions_iterated + m.interactions_leapt, m.interactions);
 }
 
 // ---------------------------------------------------------------------------
