@@ -9,6 +9,8 @@
 #include "analysis/trace.hpp"
 #include "core/derandomized.hpp"
 #include "core/safety.hpp"
+#include "core/snapshot.hpp"
+#include "obs/checkpoint.hpp"
 #include "obs/journal.hpp"
 #include "pp/batched_simulator.hpp"
 #include "pp/community_counts.hpp"
@@ -32,6 +34,11 @@ StabilizationResult stabilize_from(const core::Params& params,
                                    std::uint64_t seed,
                                    std::uint64_t max_interactions,
                                    const ProbeOptions& probes) {
+  if (!probes.checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "note: checkpoints are counts-native; the naive engine "
+                 "runs uncheckpointed\n");
+  }
   core::ElectLeader protocol(params);
   pp::Population<core::ElectLeader> population(std::move(config));
   pp::Simulator<core::ElectLeader> sim(protocol, std::move(population), seed);
@@ -57,6 +64,64 @@ StabilizationResult stabilize_from(const core::Params& params,
 
 namespace {
 
+/// Checkpoint identity + codec for the ElectLeader_r counts engines
+/// (ProbeOptions.checkpoint_*): the protocol label restore checks, and the
+/// per-state snapshot stanza codec (core/snapshot.hpp).
+constexpr const char* kElectLeaderLabel = "elect_leader";
+
+std::string encode_elect_leader(const core::Agent& a) {
+  return core::snapshot_write_agent(a);
+}
+
+std::optional<core::Agent> decode_elect_leader(const std::string& text) {
+  return core::snapshot_read_agent(text);
+}
+
+/// Shared ProbeOptions.checkpoint_* plumbing for the counts engines: call
+/// resume() before run_until (it loads an existing checkpoint, restores the
+/// engine, and shrinks the remaining budget), and on_probe(t) from the
+/// probe lambda (it saves every checkpoint_every interactions).
+template <typename Sim>
+class StabilizeCheckpointer {
+ public:
+  StabilizeCheckpointer(Sim& sim, const ProbeOptions& probes)
+      : sim_(sim), probes_(probes) {}
+
+  void resume(std::uint64_t* max_interactions) {
+    if (!enabled()) return;
+    auto doc = obs::checkpoint_load(probes_.checkpoint_path);
+    if (!doc) return;  // nothing saved yet: a fresh run
+    if (!obs::restore_checkpoint(sim_, *doc, kElectLeaderLabel,
+                                 decode_elect_leader)) {
+      std::fprintf(stderr,
+                   "error: checkpoint at %s does not restore into this "
+                   "engine/protocol\n",
+                   probes_.checkpoint_path.c_str());
+      std::exit(2);
+    }
+    last_saved_ = sim_.interactions();
+    // run_until budgets are relative to the engine's interaction count:
+    // a resumed run only owes the remainder of the original budget.
+    *max_interactions -= std::min(*max_interactions, sim_.interactions());
+  }
+
+  void on_probe(std::uint64_t t) {
+    if (!enabled() || t < last_saved_ + probes_.checkpoint_every) return;
+    auto doc = obs::make_checkpoint(sim_, kElectLeaderLabel,
+                                    encode_elect_leader);
+    if (obs::checkpoint_save(probes_.checkpoint_path, doc)) last_saved_ = t;
+  }
+
+ private:
+  bool enabled() const {
+    return !probes_.checkpoint_path.empty() && probes_.checkpoint_every > 0;
+  }
+
+  Sim& sim_;
+  const ProbeOptions& probes_;
+  std::uint64_t last_saved_ = 0;
+};
+
 /// Batched-engine counterpart of stabilize_from: advances a counts
 /// configuration until the (counts-native) safe predicate holds.
 StabilizationResult stabilize_counts_from(
@@ -66,12 +131,18 @@ StabilizationResult stabilize_counts_from(
   core::ElectLeader protocol(params);
   pp::BatchedSimulator<core::ElectLeader> sim(protocol, std::move(config),
                                               seed);
+  StabilizeCheckpointer checkpointer(sim, probes);
+  checkpointer.resume(&max_interactions);
 
   const auto probe = [&](const pp::CountsConfiguration<core::ElectLeader>& c,
                          std::uint64_t t) {
     if (probes.trace) probes.trace->record(t, c);
     if (probes.journal) probes.journal->tick(t, sim.metrics());
-    return core::is_safe_configuration(params, c);
+    // Safety first: saving canonicalizes the engine, which may rebuild the
+    // very configuration `c` refers to.
+    const bool safe = core::is_safe_configuration(params, c);
+    checkpointer.on_probe(t);
+    return safe;
   };
   const auto run =
       sim.run_until(probe, max_interactions,
@@ -99,12 +170,18 @@ StabilizationResult stabilize_sharded_counts_from(
   core::ElectLeader protocol(params);
   pp::ShardedSimulator<core::ElectLeader> sim(protocol, std::move(config),
                                               seed, shards);
+  StabilizeCheckpointer checkpointer(sim, probes);
+  checkpointer.resume(&max_interactions);
 
   const auto probe = [&](const pp::CountsConfiguration<core::ElectLeader>& c,
                          std::uint64_t t) {
     if (probes.trace) probes.trace->record(t, c);
     if (probes.journal) probes.journal->tick(t, sim.metrics());
-    return core::is_safe_configuration(params, c);
+    // Safety first: saving canonicalizes the engine, which may rebuild the
+    // very configuration `c` refers to.
+    const bool safe = core::is_safe_configuration(params, c);
+    checkpointer.on_probe(t);
+    return safe;
   };
   const auto run =
       sim.run_until(probe, max_interactions,

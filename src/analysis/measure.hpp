@@ -54,6 +54,16 @@ struct ProbeOptions {
   Trace* trace = nullptr;
   obs::Journal* journal = nullptr;
   std::uint64_t probe_every = 0;
+  /// Crash-safe checkpointing (obs/checkpoint.hpp), counts engines only:
+  /// when checkpoint_path is nonempty and checkpoint_every > 0, the engine
+  /// atomically saves a checkpoint every checkpoint_every interactions (on
+  /// the probe grid) and resumes from an existing file at the path.  Note
+  /// that saving canonicalizes the registry, so a checkpointed run's
+  /// trajectory matches OTHER checkpointed runs (in particular its own
+  /// kill−9/resume), not an uncheckpointed run.  The naive engine ignores
+  /// the request with a loud stderr note (checkpoints are counts-native).
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 /// Which simulation engine a measurement should run on.

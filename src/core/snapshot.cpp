@@ -32,6 +32,15 @@ bool read_u32(std::istringstream& is, const char* key, std::uint32_t* out) {
   return true;
 }
 
+/// Strict uint32 parse of a whole token (from_chars: no sign, no wrap —
+/// unlike std::stoul, which silently wraps "-1" to ULONG_MAX).
+bool parse_u32_token(const std::string& token, std::uint32_t* out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end && !token.empty();
+}
+
 void write_agent(std::ostringstream& os, const Params& params,
                  const Agent& a) {
   os << "agent";
@@ -150,16 +159,20 @@ std::optional<Agent> read_agent(std::istringstream& is) {
       if (!(is >> pair)) return std::nullopt;
       const auto colon = pair.find(':');
       if (colon == std::string::npos) return std::nullopt;
-      try {
-        m.id = static_cast<std::uint32_t>(std::stoul(pair.substr(0, colon)));
-        m.content =
-            static_cast<std::uint32_t>(std::stoul(pair.substr(colon + 1)));
-      } catch (...) {
+      if (!parse_u32_token(pair.substr(0, colon), &m.id)) return std::nullopt;
+      if (!parse_u32_token(pair.substr(colon + 1), &m.content)) {
         return std::nullopt;
       }
     }
   }
   return a;
+}
+
+/// Whether the stream holds nothing but whitespace from here on — the
+/// trailing-garbage check that rejects extra/duplicated agent stanzas.
+bool at_clean_end(std::istringstream& is) {
+  std::string extra;
+  return !(is >> extra);
 }
 
 }  // namespace
@@ -189,7 +202,24 @@ std::optional<std::vector<Agent>> snapshot_read(const Params& params,
     if (!agent) return std::nullopt;
     config.push_back(std::move(*agent));
   }
+  // Exactly n stanzas: trailing content (a duplicated agent stanza, a
+  // concatenated second snapshot) means the text does not describe the
+  // configuration it claims to.
+  if (!at_clean_end(is)) return std::nullopt;
   return config;
+}
+
+std::string snapshot_write_agent(const Agent& a) {
+  std::ostringstream os;
+  write_agent(os, Params{}, a);
+  return os.str();
+}
+
+std::optional<Agent> snapshot_read_agent(const std::string& text) {
+  std::istringstream is(text);
+  auto agent = read_agent(is);
+  if (!agent || !at_clean_end(is)) return std::nullopt;
+  return agent;
 }
 
 }  // namespace ssle::core

@@ -22,8 +22,18 @@ std::string snapshot_write(const Params& params,
                            const std::vector<Agent>& config);
 
 /// Parses a snapshot produced by snapshot_write.  Returns std::nullopt on
-/// any syntactic or structural error (wrong agent count, bad field, ...).
+/// any syntactic or structural error (wrong agent count, bad field,
+/// trailing garbage such as a duplicated agent stanza, ...).
 std::optional<std::vector<Agent>> snapshot_read(const Params& params,
                                                 const std::string& text);
+
+/// Serializes ONE agent as its snapshot stanza (no header) — the per-class
+/// key codec the counts-native checkpoint (obs/checkpoint.hpp) uses to
+/// store ElectLeader_r registry entries.
+std::string snapshot_write_agent(const Agent& a);
+
+/// Parses exactly one stanza produced by snapshot_write_agent.  Strict:
+/// any malformed field or trailing non-whitespace yields std::nullopt.
+std::optional<Agent> snapshot_read_agent(const std::string& text);
 
 }  // namespace ssle::core

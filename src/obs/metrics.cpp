@@ -6,6 +6,7 @@ namespace ssle::obs {
 
 EngineMetrics& EngineMetrics::merge(const EngineMetrics& other) {
   if (engine[0] == '\0') engine = other.engine;
+  population += other.population;
   interactions += other.interactions;
   interactions_iterated += other.interactions_iterated;
   interactions_leapt += other.interactions_leapt;
@@ -40,6 +41,7 @@ EngineMetrics& EngineMetrics::merge(const EngineMetrics& other) {
 util::Json EngineMetrics::to_json() const {
   auto j = util::Json::object();
   j.set("engine", engine);
+  j.set("population", population);
   j.set("interactions", interactions);
   j.set("interactions_iterated", interactions_iterated);
   j.set("interactions_leapt", interactions_leapt);

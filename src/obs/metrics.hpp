@@ -37,6 +37,13 @@ struct EngineMetrics {
   /// "sharded".
   const char* engine = "";
 
+  // --- population ------------------------------------------------------
+  /// Live population size n at snapshot time.  Static runs report the
+  /// construction-time n; under churn (join/leave/dropout events,
+  /// analysis/churn.hpp) this is the gauge that tracks the live value.
+  /// merge() sums it — across shards the parts total the population.
+  std::uint64_t population = 0;
+
   // --- interactions ----------------------------------------------------
   std::uint64_t interactions = 0;           ///< total scheduler slots consumed
   std::uint64_t interactions_iterated = 0;  ///< executed individually/in blocks

@@ -154,9 +154,13 @@ class BlockLengthSampler {
   /// at every t: ∏_{s<t} (n-2s)(n-2s-1)/(n(n-1)).  Entries stop below
   /// -40 < log(2^-53), the log of the smallest positive value real() can
   /// produce, so every inverse-transform draw resolves inside the table.
-  /// Length is Θ(√n); build once (interactions conserve agents, so n is
-  /// fixed for an engine's lifetime).
+  /// Length is Θ(√n).  Interactions conserve agents, so a static run
+  /// builds once — but churn (join/leave, analysis/churn.hpp) changes n
+  /// between blocks, and the survival law depends on n, so engines ask
+  /// ready_for(n) per block and rebuild on a population change (Θ(√n),
+  /// paid only when n actually moved).
   void build(std::uint64_t n) {
+    built_for_ = n;
     const double log_denom = std::log(static_cast<double>(n)) +
                              std::log(static_cast<double>(n - 1));
     log_survival_.clear();
@@ -172,6 +176,12 @@ class BlockLengthSampler {
   }
 
   bool ready() const { return !log_survival_.empty(); }
+
+  /// Whether the table describes the birthday process over exactly n
+  /// agents — false after a join/leave changed the population.
+  bool ready_for(std::uint64_t n) const {
+    return !log_survival_.empty() && built_for_ == n;
+  }
 
   struct Draw {
     std::uint64_t length;  ///< L, the collision-free prefix (≤ cap)
@@ -213,6 +223,7 @@ class BlockLengthSampler {
 
  private:
   std::vector<double> log_survival_;  ///< log P(first collision > t), Θ(√n)
+  std::uint64_t built_for_ = 0;       ///< the n the table was built for
 };
 
 /// A configuration the batched engine can advance *exactly*: a counts
@@ -360,6 +371,7 @@ class BatchedSimulator {
   obs::EngineMetrics metrics() const {
     obs::EngineMetrics m;
     m.engine = Config::kUniformPairs ? "batched" : "batched-community";
+    m.population = config_.population_size();
     m.interactions = interactions_;
     m.interactions_iterated = interactions_;
     m.blocks_dense = dense_blocks_;
@@ -381,6 +393,55 @@ class BatchedSimulator {
     m.delta_cache_entries = delta_cache_.size();
     return m;
   }
+
+  // --- checkpoint/resume support (obs/checkpoint.hpp) --------------------
+  //
+  // A checkpoint must pin the engine's FUTURE trajectory bit-for-bit, and
+  // the trajectory depends on registry id layout (uniform positions resolve
+  // through registry cumulative order), which a restore cannot reproduce
+  // when the saver's interner carries free-list holes from compact().  The
+  // discipline is therefore canonicalize-THEN-serialize: the saver rebuilds
+  // its registry into dense-id form (ids 0..q-1 in live-id order, no holes)
+  // and KEEPS RUNNING from that form, so the continuation and a restorer
+  // that re-adds the serialized (state, count) list in order are in
+  // literally identical state.  Engine op counters (blocks, cache stats,
+  // registry counters) are process-local diagnostics and restart at zero on
+  // restore; interactions() and the RNG streams are part of the state.
+
+  /// Rebuilds the registry into canonical dense-id form and drops every
+  /// id-keyed cache (δ-memo, block scratch).  O(q).  The counts multiset —
+  /// and hence the law — is unchanged; only id labels move, exactly as the
+  /// restorer will lay them out.  Uniform configurations only (the
+  /// community lifting checkpoints are not supported).
+  void canonicalize()
+    requires Config::kUniformPairs
+  {
+    Config fresh{std::vector<State>{}};
+    config_.for_each(
+        [&](const State& s, std::uint64_t c) { fresh.add(s, c); });
+    config_ = std::move(fresh);
+    delta_cache_.clear();
+    used_.assign(config_.num_states(), 0);
+    flat_drawn_.assign(config_.num_states(), 0);
+    touched_.clear();
+  }
+
+  /// The engine's RNG streams, in a fixed order the restorer relies on:
+  /// [scheduler rng_, transition agent_rng_].
+  std::vector<std::array<std::uint64_t, 4>> rng_states() const {
+    return {rng_.state(), agent_rng_.state()};
+  }
+
+  /// Restores the streams saved by rng_states(); false on arity mismatch.
+  bool set_rng_states(
+      const std::vector<std::array<std::uint64_t, 4>>& states) {
+    if (states.size() != 2) return false;
+    rng_.set_state(states[0]);
+    agent_rng_.set_state(states[1]);
+    return true;
+  }
+
+  void set_interactions(std::uint64_t t) { interactions_ = t; }
 
  private:
   /// One exact interaction of the community-weighted pair law
@@ -410,8 +471,10 @@ class BatchedSimulator {
 
     // 1. First-collision time T (shared BlockLengthSampler): L is the
     // collision-free prefix; not finding T within the first cap entries
-    // means the block is cut collision-free at the cap.
-    if (!block_length_.ready()) block_length_.build(n);
+    // means the block is cut collision-free at the cap.  Churn edits the
+    // configuration between blocks (never inside one), so re-checking the
+    // table's n here is all the engine needs to track a live population.
+    if (!block_length_.ready_for(n)) block_length_.build(n);
     const auto [L, collided] = block_length_.draw(rng_, cap);
 
     const std::uint32_t q = config_.num_states();

@@ -145,6 +145,26 @@ class CountsKernel {
     tree_sub(idx, c);
   }
 
+  // --- churn primitives (analysis/churn.hpp fault plans) ----------------
+  // Population edits as first-class O(log q) operations: one interner
+  // lookup (hash once, O(1) amortized) plus one Fenwick point update.
+  // Ids stay stable across these — compact() reclaims dead ids through the
+  // free list, never re-indexes — so a joining agent whose state id was
+  // reclaimed and reused still lands on a valid, live slot.
+
+  /// One agent joins the population in state k.  O(log q); returns the id
+  /// the agent was filed under.  Population size grows by one — engines
+  /// re-read population_size() per block, so the next block envelope and
+  /// scheduler weights see the new n.
+  std::uint32_t insert_agent(const Key& k) { return add(k, 1); }
+
+  /// One agent leaves the population from the class at idx (which must be
+  /// live).  O(log q).  Removing the last agent of a class leaves a dead
+  /// id for should_compact()/compact() to reclaim — bounded-allocation
+  /// soak gates (bench_e2_churn --gate-soak) pin that this reclamation
+  /// actually holds under sustained id churn.
+  void remove_agent(std::uint32_t idx) { remove_at(idx, 1); }
+
   /// Total count of the registry entries [0, idx) — the cumulative rank of
   /// entry idx in registry order.  O(log q) via the Fenwick tree.
   std::uint64_t prefix_count(std::uint32_t idx) const {

@@ -267,6 +267,7 @@ class LeapingSimulator {
   obs::EngineMetrics metrics() const {
     obs::EngineMetrics m;
     m.engine = "leaping";
+    m.population = config_.population_size();
     m.interactions = interactions_;
     m.interactions_iterated = events_;
     m.interactions_leapt = interactions_ - events_;

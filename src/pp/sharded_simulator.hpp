@@ -240,6 +240,7 @@ class ShardedSimulator {
       intra += shards_[j].intra;
     }
     m.engine = "sharded";
+    m.population = n_;
     m.shards = shards_.size();
     m.interactions = interactions_;
     m.interactions_iterated = interactions_;
@@ -284,6 +285,119 @@ class ShardedSimulator {
   /// Total cross-shard interactions resolved (phases B + C).
   std::uint64_t cross_shard_interactions() const {
     return inner_ ? 0 : cross_total_;
+  }
+
+  // --- checkpoint/resume support (obs/checkpoint.hpp) --------------------
+  // The batched engine's canonicalize-then-serialize discipline (see
+  // pp/batched_simulator.hpp), applied per shard: each shard's registry is
+  // rebuilt dense, each shard's RNG pair and each chunk's δ stream is
+  // saved, and a restorer that re-adds every shard's (state, count) list in
+  // order reconstructs bit-identical engine state.  Stream order for
+  // rng_states():
+  //   T = 1: delegates to the inner batched engine ([rng, agent_rng]);
+  //   T ≥ 2: [engine rng_, collision_agent_rng_,
+  //           shard_0.rng, shard_0.agent_rng, …, shard_{T-1}.agent_rng,
+  //           chunk_0.rng, …, chunk_{T-1}.rng]   (2 + 3T entries).
+
+  /// Settles parked outputs and rebuilds every shard registry into dense-id
+  /// form, dropping id-keyed caches.  The continuation runs from exactly
+  /// the form the checkpoint serializes.
+  void canonicalize() {
+    if (inner_) {
+      inner_->canonicalize();
+      return;
+    }
+    settle_all();
+    for (Shard& sh : shards_) {
+      Config fresh{std::vector<State>{}};
+      sh.config.for_each(
+          [&](const State& s, std::uint64_t c) { fresh.add(s, c); });
+      sh.config = std::move(fresh);
+      sh.cache.clear();
+      sh.used.assign(sh.config.num_states(), 0);
+      sh.flat_drawn.assign(sh.config.num_states(), 0);
+      sh.touched.clear();
+    }
+    merged_.reset();
+  }
+
+  std::vector<std::array<std::uint64_t, 4>> rng_states() const {
+    if (inner_) return inner_->rng_states();
+    std::vector<std::array<std::uint64_t, 4>> out;
+    out.reserve(2 + 3 * shards_.size());
+    out.push_back(rng_.state());
+    out.push_back(collision_agent_rng_.state());
+    for (const Shard& sh : shards_) {
+      out.push_back(sh.rng.state());
+      out.push_back(sh.agent_rng.state());
+    }
+    for (const ChunkCtx& cx : chunks_) out.push_back(cx.rng.state());
+    return out;
+  }
+
+  bool set_rng_states(
+      const std::vector<std::array<std::uint64_t, 4>>& states) {
+    if (inner_) return inner_->set_rng_states(states);
+    const std::size_t T = shards_.size();
+    if (states.size() != 2 + 3 * T) return false;
+    rng_.set_state(states[0]);
+    collision_agent_rng_.set_state(states[1]);
+    for (std::size_t j = 0; j < T; ++j) {
+      shards_[j].rng.set_state(states[2 + 2 * j]);
+      shards_[j].agent_rng.set_state(states[2 + 2 * j + 1]);
+    }
+    for (std::size_t j = 0; j < T; ++j) {
+      chunks_[j].rng.set_state(states[2 + 2 * T + j]);
+    }
+    return true;
+  }
+
+  void set_interactions(std::uint64_t t) {
+    if (inner_) {
+      inner_->set_interactions(t);
+      return;
+    }
+    interactions_ = t;
+  }
+
+  /// Settled registry of shard j, for the checkpoint writer (canonicalize()
+  /// first, so the view is dense and parked outputs are merged).
+  const Config& shard_config(std::size_t j) {
+    if (inner_) {
+      assert(j == 0);
+      return inner_->config();
+    }
+    settle_shard(shards_[j]);
+    return shards_[j].config;
+  }
+
+  /// Installs restored per-shard registries (one per shard, in the order
+  /// shard_config() serialized them); false on shard-count mismatch.
+  /// Follow with set_rng_states/set_interactions to finish the restore.
+  bool restore_shard_configs(std::vector<Config> configs) {
+    if (inner_) {
+      if (configs.size() != 1) return false;
+      inner_->config() = std::move(configs[0]);
+      inner_->canonicalize();  // idempotent on a canonical registry; sizes
+                               // the block scratch to the new registry
+      return true;
+    }
+    if (configs.size() != shards_.size()) return false;
+    n_ = 0;
+    for (std::size_t j = 0; j < shards_.size(); ++j) {
+      Shard& sh = shards_[j];
+      sh.config = std::move(configs[j]);
+      sh.cache.clear();
+      sh.used.assign(sh.config.num_states(), 0);
+      sh.flat_drawn.assign(sh.config.num_states(), 0);
+      sh.touched.clear();
+      sh.used_total = 0;
+      sh.merge_pending = false;
+      shard_pop_[j] = sh.config.population_size();
+      n_ += shard_pop_[j];
+    }
+    merged_.reset();
+    return true;
   }
 
  private:
@@ -352,7 +466,7 @@ class ShardedSimulator {
 
   /// Runs one block of at most `cap` interactions; returns how many ran.
   std::uint64_t run_block(std::uint64_t cap) {
-    if (!block_length_.ready()) block_length_.build(n_);
+    if (!block_length_.ready_for(n_)) block_length_.build(n_);
     const auto [L, collided] = block_length_.draw(rng_, cap);
 
     // Phase 0: shard labels for the 2L slots.  Sequential without-

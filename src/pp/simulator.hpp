@@ -105,6 +105,7 @@ class Simulator {
   obs::EngineMetrics metrics() const {
     obs::EngineMetrics m;
     m.engine = "naive";
+    m.population = population_.size();
     m.interactions = interactions_;
     m.interactions_iterated = interactions_;
     return m;

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -175,6 +176,294 @@ std::string Json::dump_line() const {
   std::ostringstream os;
   write_compact(os);
   return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser state.  Depth-capped so adversarial nesting in
+/// a corrupted checkpoint cannot overflow the stack.
+struct Parser {
+  const char* p;
+  const char* end;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool consume(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* s) {
+    const char* q = p;
+    while (*s) {
+      if (q >= end || *q != *s) return false;
+      ++q;
+      ++s;
+    }
+    p = q;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p++);
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (p >= end) return false;
+        const char esc = *p++;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 4) return false;
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *p++;
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // Encode the BMP code point as UTF-8 (surrogates pass through
+            // as-is bytes of their code unit; the writer never emits them).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else if (c < 0x20) {
+        return false;  // raw control character inside a string
+      } else {
+        out += static_cast<char>(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Json& out) {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || *p < '0' || *p > '9') return false;
+    while (p < end && *p >= '0' && *p <= '9') ++p;
+    bool integral = true;
+    if (p < end && *p == '.') {
+      integral = false;
+      ++p;
+      if (p >= end || *p < '0' || *p > '9') return false;
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      integral = false;
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || *p < '0' || *p > '9') return false;
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    const std::string token(start, p);
+    if (integral) {
+      errno = 0;
+      char* parsed_end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &parsed_end, 10);
+      if (errno == 0 && parsed_end == token.c_str() + token.size()) {
+        out = Json(static_cast<std::int64_t>(v));
+        return true;
+      }
+      // Integer out of int64 range: fall back to double, like the writer.
+    }
+    errno = 0;
+    char* parsed_end = nullptr;
+    const double d = std::strtod(token.c_str(), &parsed_end);
+    if (parsed_end != token.c_str() + token.size()) return false;
+    out = Json(d);
+    return true;
+  }
+
+  bool parse_value(Json& out) {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (p >= end) return false;
+    bool ok = false;
+    switch (*p) {
+      case '{': {
+        ++p;
+        Json obj = Json::object();
+        skip_ws();
+        if (consume('}')) {
+          out = std::move(obj);
+          ok = true;
+          break;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          Json v;
+          if (!parse_value(v)) return false;
+          obj.set(key, std::move(v));
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume('}')) break;
+          return false;
+        }
+        out = std::move(obj);
+        ok = true;
+        break;
+      }
+      case '[': {
+        ++p;
+        Json arr = Json::array();
+        skip_ws();
+        if (consume(']')) {
+          out = std::move(arr);
+          ok = true;
+          break;
+        }
+        while (true) {
+          Json v;
+          if (!parse_value(v)) return false;
+          arr.push(std::move(v));
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume(']')) break;
+          return false;
+        }
+        out = std::move(arr);
+        ok = true;
+        break;
+      }
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json(std::move(s));
+        ok = true;
+        break;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = Json(true);
+        ok = true;
+        break;
+      case 'f':
+        if (!literal("false")) return false;
+        out = Json(false);
+        ok = true;
+        break;
+      case 'n':
+        if (!literal("null")) return false;
+        out = Json();
+        ok = true;
+        break;
+      default:
+        ok = parse_number(out);
+        break;
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  Json out;
+  if (!parser.parse_value(out)) return std::nullopt;
+  parser.skip_ws();
+  if (parser.p != parser.end) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+const Json* Json::find(const std::string& key) const {
+  const auto* members = std::get_if<Members>(&value_);
+  if (!members) return nullptr;
+  for (const auto& [k, v] : *members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  if (const auto* members = std::get_if<Members>(&value_)) {
+    return members->size();
+  }
+  if (const auto* elements = std::get_if<Elements>(&value_)) {
+    return elements->size();
+  }
+  return 0;
+}
+
+const Json* Json::at(std::size_t i) const {
+  const auto* elements = std::get_if<Elements>(&value_);
+  if (!elements || i >= elements->size()) return nullptr;
+  return &(*elements)[i];
+}
+
+std::optional<bool> Json::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> Json::as_i64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> Json::as_u64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i < 0) return std::nullopt;
+    return static_cast<std::uint64_t>(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value_)) {
+    if (*d < 0 || *d != static_cast<double>(static_cast<std::uint64_t>(*d))) {
+      return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(*d);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Json::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Json::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  return std::nullopt;
 }
 
 void write_json_file(const std::string& path, const Json& doc) {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -54,6 +55,43 @@ class Json {
   /// JSONL record per call.  Same value syntax as write().
   void write_compact(std::ostream& os) const;
   std::string dump_line() const;
+
+  // --- Reading (checkpoint/resume, obs/checkpoint) ------------------------
+  //
+  // A strict recursive-descent parser over the subset this writer emits:
+  // objects, arrays, strings with \"\\/bnrt and \uXXXX escapes (BMP only),
+  // integer and decimal numbers, true/false/null.  Any trailing non-
+  // whitespace, unterminated construct, bad escape, or malformed number
+  // returns nullopt — a half-parsed checkpoint must never restore.
+
+  static std::optional<Json> parse(const std::string& text);
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_object() const { return std::holds_alternative<Members>(value_); }
+  bool is_array() const { return std::holds_alternative<Elements>(value_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Element count: members of an object, elements of an array, 0 otherwise.
+  std::size_t size() const;
+
+  /// Array element access; nullptr when out of range or not an array.
+  const Json* at(std::size_t i) const;
+
+  /// Scalar accessors; nullopt on type mismatch (u64 additionally rejects
+  /// negatives and non-integral doubles).
+  std::optional<bool> as_bool() const;
+  std::optional<std::int64_t> as_i64() const;
+  std::optional<std::uint64_t> as_u64() const;
+  std::optional<double> as_double() const;
+  std::optional<std::string> as_string() const;
 
  private:
   struct ObjectTag {};

@@ -128,6 +128,18 @@ class Rng {
     return Rng(acc);
   }
 
+  /// Raw 256-bit generator state, for crash-safe checkpoints
+  /// (obs/checkpoint).  Restoring a saved state with set_state() resumes
+  /// the stream exactly where state() captured it.  Only feed set_state()
+  /// words previously obtained from state(): the all-zero state is a fixed
+  /// point of xoshiro256** and must never be installed (asserted).
+  std::array<std::uint64_t, 4> state() const { return state_; }
+
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    assert((s[0] | s[1] | s[2] | s[3]) != 0);
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

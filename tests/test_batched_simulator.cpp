@@ -42,6 +42,35 @@ TEST(BatchedSimulator, StepCountsInteractionsExactly) {
   EXPECT_EQ(sim.config().population_size(), 16u);  // agents are conserved
 }
 
+TEST(BatchedSimulator, PopulationMayChangeBetweenBlocks) {
+  // Churn support (ISSUE 10): n is re-read per block, so registry edits
+  // between step() calls — joins, leaves — must be picked up by the block
+  // envelope, the scheduler weights and the metrics.
+  Epidemic proto{64};
+  BatchedSimulator<Epidemic> sim(proto, 5);
+  sim.step(500);  // ≫ n·ln n: the original 64 agents are fully infected
+  for (int i = 0; i < 64; ++i) sim.config().insert_agent(0);
+  EXPECT_EQ(sim.config().population_size(), 128u);
+  sim.step(500);
+  EXPECT_EQ(sim.interactions(), 1000u);
+  EXPECT_EQ(sim.metrics().population, 128u);
+
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    auto& cfg = sim.config();
+    cfg.remove_agent(cfg.sample_class(rng.below(cfg.population_size())));
+  }
+  EXPECT_EQ(sim.config().population_size(), 28u);
+  EXPECT_EQ(sim.config().count_of(0) + sim.config().count_of(1), 28u);
+
+  // The epidemic's absorbing laws still hold over the surviving agents.
+  const bool any_infected = sim.config().count_of(1) > 0;
+  sim.step(4000);
+  EXPECT_EQ(sim.config().population_size(), 28u);
+  EXPECT_EQ(sim.config().count_of(1), any_infected ? 28u : 0u);
+  EXPECT_EQ(sim.metrics().population, 28u);
+}
+
 TEST(BatchedSimulator, DeterministicGivenSeed) {
   Epidemic proto{256};
   BatchedSimulator<Epidemic> a(proto, 9);

@@ -1,0 +1,288 @@
+// Checkpoint document codec + crash-safe resume bit-identity.
+//
+// The load-bearing claim (ISSUE 10 acceptance): checkpoint → restore into a
+// fresh engine → continue, and the continuation is BIT-IDENTICAL to the
+// saver's own continuation — registries counter-for-counter, RNG states
+// word-for-word, for both the batched engine and sharded:T.  The document
+// tests pin the strict parser (versioning, hex words, truncation) and the
+// restore guards (engine/protocol/population mismatches).
+#include "obs/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/measure.hpp"
+#include "core/adversary.hpp"
+#include "core/elect_leader.hpp"
+#include "core/snapshot.hpp"
+
+namespace ssle::obs {
+namespace {
+
+using analysis::Engine;
+using analysis::EngineSpec;
+using core::Params;
+
+CheckpointDoc sample_doc() {
+  CheckpointDoc doc;
+  doc.engine = "batched";
+  doc.protocol = "toy";
+  doc.n = 7;
+  doc.interactions = 123456789;
+  // Words above int64 range: the hex codec must not degrade them.
+  doc.rngs.push_back({0xdeadbeefcafef00dull, 1, 2, 0xffffffffffffffffull});
+  doc.rngs.push_back({3, 4, 5, 6});
+  doc.shards.push_back({{"a", 3}, {"b", 4}});
+  auto cursor = util::Json::object();
+  cursor.set("t", 17);
+  doc.cursor = std::move(cursor);
+  return doc;
+}
+
+TEST(CheckpointDoc, JsonRoundTrip) {
+  const CheckpointDoc doc = sample_doc();
+  const auto back = checkpoint_parse(checkpoint_dump(doc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->engine, doc.engine);
+  EXPECT_EQ(back->protocol, doc.protocol);
+  EXPECT_EQ(back->n, doc.n);
+  EXPECT_EQ(back->interactions, doc.interactions);
+  EXPECT_EQ(back->rngs, doc.rngs);
+  EXPECT_EQ(back->shards, doc.shards);
+  ASSERT_TRUE(back->cursor.has_value());
+}
+
+TEST(CheckpointDoc, RejectsWrongKindAndVersion) {
+  const CheckpointDoc doc = sample_doc();
+  auto j = checkpoint_to_json(doc);
+  j.set("kind", "something-else");
+  EXPECT_FALSE(checkpoint_from_json(j).has_value());
+  auto j2 = checkpoint_to_json(doc);
+  j2.set("v", kCheckpointVersion + 1);
+  EXPECT_FALSE(checkpoint_from_json(j2).has_value());
+}
+
+TEST(CheckpointDoc, RejectsTruncatedText) {
+  const std::string text = checkpoint_dump(sample_doc());
+  EXPECT_TRUE(checkpoint_parse(text).has_value());
+  EXPECT_FALSE(checkpoint_parse(text.substr(0, text.size() / 2)).has_value());
+  EXPECT_FALSE(checkpoint_parse("").has_value());
+}
+
+TEST(CheckpointDoc, HexCodecRoundTripsFullRange) {
+  for (const std::uint64_t w :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0x7fffffffffffffff},
+        std::uint64_t{0x8000000000000000}, ~std::uint64_t{0}}) {
+    const auto back = parse_hex_u64(hex_u64(w));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, w);
+  }
+  EXPECT_FALSE(parse_hex_u64("").has_value());
+  EXPECT_FALSE(parse_hex_u64("12345").has_value());        // no 0x prefix
+  EXPECT_FALSE(parse_hex_u64("0xnothex").has_value());
+  EXPECT_FALSE(parse_hex_u64("0x12 4").has_value());
+}
+
+TEST(CheckpointDoc, RngStateCodecRejectsMalformedAndAllZero) {
+  const std::array<std::uint64_t, 4> state{9, 8, 7, 0xabcdef0123456789ull};
+  const auto back = rng_state_from_json(rng_state_to_json(state));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, state);
+  // xoshiro's all-zero fixed point must never restore.
+  EXPECT_FALSE(
+      rng_state_from_json(rng_state_to_json({0, 0, 0, 0})).has_value());
+  auto three = util::Json::array();
+  three.push(hex_u64(1));
+  three.push(hex_u64(2));
+  three.push(hex_u64(3));
+  EXPECT_FALSE(rng_state_from_json(three).has_value());
+}
+
+// --- engine-level restore guards ------------------------------------------
+
+using Batched = pp::BatchedSimulator<core::ElectLeader>;
+using Sharded = pp::ShardedSimulator<core::ElectLeader>;
+
+Batched::Config safe_config(const Params& p) {
+  return Batched::Config(core::make_safe_config(p));
+}
+
+TEST(CheckpointRestore, GuardsRejectMismatchedDocuments) {
+  const Params p = Params::make(16, 8);
+  const core::ElectLeader protocol(p);
+  Batched sim(protocol, safe_config(p), 42);
+  sim.step(500);
+  CheckpointDoc doc =
+      make_checkpoint(sim, "elect_leader", core::snapshot_write_agent);
+
+  const auto fresh = [&] {
+    return Batched(protocol, Batched::Config(std::vector<core::Agent>{}), 1);
+  };
+  {
+    Batched r = fresh();
+    EXPECT_TRUE(
+        restore_checkpoint(r, doc, "elect_leader", core::snapshot_read_agent));
+  }
+  {  // protocol label mismatch
+    Batched r = fresh();
+    EXPECT_FALSE(
+        restore_checkpoint(r, doc, "other_protocol", core::snapshot_read_agent));
+  }
+  {  // engine kind mismatch
+    CheckpointDoc bad = doc;
+    bad.engine = "sharded:2";
+    Batched r = fresh();
+    EXPECT_FALSE(
+        restore_checkpoint(r, bad, "elect_leader", core::snapshot_read_agent));
+  }
+  {  // population total inconsistent with the shard lists
+    CheckpointDoc bad = doc;
+    bad.n += 1;
+    Batched r = fresh();
+    EXPECT_FALSE(
+        restore_checkpoint(r, bad, "elect_leader", core::snapshot_read_agent));
+  }
+  {  // zero-count registry entry
+    CheckpointDoc bad = doc;
+    bad.shards[0][0].second = 0;
+    Batched r = fresh();
+    EXPECT_FALSE(
+        restore_checkpoint(r, bad, "elect_leader", core::snapshot_read_agent));
+  }
+  {  // undecodable state stanza
+    CheckpointDoc bad = doc;
+    bad.shards[0][0].first = "not an agent stanza";
+    Batched r = fresh();
+    EXPECT_FALSE(
+        restore_checkpoint(r, bad, "elect_leader", core::snapshot_read_agent));
+  }
+}
+
+// --- bit-identical continuation -------------------------------------------
+
+std::string tmp_path(const char* name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "ckpt_" + info->name() + "_" + name + ".json";
+}
+
+TEST(CheckpointRestore, BatchedContinuationIsBitIdentical) {
+  const Params p = Params::make(64, 8);
+  const core::ElectLeader protocol(p);
+  Batched saver(protocol, safe_config(p), 7);
+  saver.step(2500);
+
+  const std::string path = tmp_path("batched");
+  CheckpointDoc doc =
+      make_checkpoint(saver, "elect_leader", core::snapshot_write_agent);
+  ASSERT_TRUE(checkpoint_save(path, doc));
+  const auto loaded = checkpoint_load(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  Batched resumer(protocol, Batched::Config(std::vector<core::Agent>{}), 999);
+  ASSERT_TRUE(restore_checkpoint(resumer, *loaded, "elect_leader",
+                                 core::snapshot_read_agent));
+  EXPECT_EQ(resumer.interactions(), saver.interactions());
+
+  // Saver (continuing past its own checkpoint) and resumer must now follow
+  // literally the same trajectory: compare full re-serializations — the
+  // registry counter-for-counter, every RNG word, the interaction count.
+  for (int leg = 0; leg < 4; ++leg) {
+    saver.step(1000);
+    resumer.step(1000);
+    EXPECT_EQ(
+        checkpoint_dump(make_checkpoint(saver, "elect_leader",
+                                        core::snapshot_write_agent)),
+        checkpoint_dump(make_checkpoint(resumer, "elect_leader",
+                                        core::snapshot_write_agent)))
+        << "diverged on leg " << leg;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRestore, ShardedContinuationIsBitIdentical) {
+  const Params p = Params::make(64, 8);
+  const core::ElectLeader protocol(p);
+  Sharded saver(protocol, safe_config(p), 7, /*shard_count=*/2);
+  saver.step(2500);
+
+  const std::string path = tmp_path("sharded2");
+  CheckpointDoc doc =
+      make_checkpoint(saver, "elect_leader", core::snapshot_write_agent);
+  EXPECT_EQ(doc.engine, "sharded:2");
+  EXPECT_EQ(doc.shards.size(), 2u);
+  ASSERT_TRUE(checkpoint_save(path, doc));
+  const auto loaded = checkpoint_load(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  Sharded resumer(protocol, Sharded::Config(std::vector<core::Agent>{}), 999,
+                  /*shard_count=*/2);
+  ASSERT_TRUE(restore_checkpoint(resumer, *loaded, "elect_leader",
+                                 core::snapshot_read_agent));
+  EXPECT_EQ(resumer.interactions(), saver.interactions());
+
+  for (int leg = 0; leg < 4; ++leg) {
+    saver.step(1000);
+    resumer.step(1000);
+    EXPECT_EQ(
+        checkpoint_dump(make_checkpoint(saver, "elect_leader",
+                                        core::snapshot_write_agent)),
+        checkpoint_dump(make_checkpoint(resumer, "elect_leader",
+                                        core::snapshot_write_agent)))
+        << "diverged on leg " << leg;
+  }
+  std::remove(path.c_str());
+}
+
+// --- the stabilize() ProbeOptions plumbing --------------------------------
+
+// An interrupted stabilize run (budget exhausted mid-flight, checkpoint on
+// disk) re-invoked with the full budget must land exactly where a single
+// uninterrupted checkpointed run lands.
+void stabilize_resume_case(EngineSpec engine, const char* tag) {
+  const Params p = Params::make(64, 8);
+  const std::uint64_t budget = analysis::default_budget(p);
+  const std::uint64_t seed = 31;
+
+  analysis::ProbeOptions full_probes;
+  full_probes.probe_every = 100;
+  full_probes.checkpoint_every = 1000;
+  full_probes.checkpoint_path = tmp_path((std::string("full_") + tag).c_str());
+  std::remove(full_probes.checkpoint_path.c_str());
+  const auto full = analysis::stabilize(
+      engine, analysis::StartKind::kClean, p, core::Corruption::kNone, seed,
+      budget, full_probes);
+  ASSERT_TRUE(full.converged);
+  ASSERT_GT(full.interactions, 2000u) << "case too easy to exercise resume";
+
+  analysis::ProbeOptions cut_probes = full_probes;
+  cut_probes.checkpoint_path = tmp_path((std::string("cut_") + tag).c_str());
+  std::remove(cut_probes.checkpoint_path.c_str());
+  const auto cut = analysis::stabilize(
+      engine, analysis::StartKind::kClean, p, core::Corruption::kNone, seed,
+      full.interactions / 2, cut_probes);
+  ASSERT_FALSE(cut.converged);
+  const auto resumed = analysis::stabilize(
+      engine, analysis::StartKind::kClean, p, core::Corruption::kNone, seed,
+      budget, cut_probes);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.interactions, full.interactions);
+  EXPECT_EQ(resumed.leaders, full.leaders);
+  std::remove(full_probes.checkpoint_path.c_str());
+  std::remove(cut_probes.checkpoint_path.c_str());
+}
+
+TEST(CheckpointStabilize, BatchedResumeLandsIdentically) {
+  stabilize_resume_case(Engine::kBatched, "batched");
+}
+
+TEST(CheckpointStabilize, ShardedResumeLandsIdentically) {
+  stabilize_resume_case(EngineSpec(Engine::kSharded, 2), "sharded");
+}
+
+}  // namespace
+}  // namespace ssle::obs

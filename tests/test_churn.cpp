@@ -14,6 +14,7 @@ TEST(Churn, NoChurnIsFullyAvailable) {
   ChurnSpec spec;
   spec.burst_period = 0;
   spec.horizon = 50000;
+  spec.probe_every = 16;
   const ChurnReport report = run_churn(p, spec, 1);
   EXPECT_EQ(report.bursts, 0u);
   EXPECT_DOUBLE_EQ(report.leader_availability(), 1.0);
@@ -26,6 +27,7 @@ TEST(Churn, RareFaultsRecoverToHighAvailability) {
   spec.burst_period = 4 * default_budget(p) / 20;
   spec.burst_size = 1;
   spec.horizon = 12 * spec.burst_period;
+  spec.probe_every = 16;
   const ChurnReport report = run_churn(p, spec, 2);
   EXPECT_GT(report.bursts, 10u);
   EXPECT_GT(report.leader_availability(), 0.60);
@@ -37,6 +39,7 @@ TEST(Churn, HeavyChurnDegradesButNeverCrashes) {
   spec.burst_period = 2000;
   spec.burst_size = 4;
   spec.horizon = 400000;
+  spec.probe_every = 16;
   const ChurnReport report = run_churn(p, spec, 3);
   EXPECT_GT(report.bursts, 100u);
   // Under heavy churn availability drops, but the run completes and some
@@ -64,10 +67,41 @@ TEST(Churn, DeterministicPerSeed) {
   spec.burst_period = 5000;
   spec.burst_size = 2;
   spec.horizon = 100000;
+  spec.probe_every = 16;
   const ChurnReport a = run_churn(p, spec, 9);
   const ChurnReport b = run_churn(p, spec, 9);
   EXPECT_EQ(a.probes_with_unique_leader, b.probes_with_unique_leader);
   EXPECT_EQ(a.probes_safe, b.probes_safe);
+}
+
+// --- S1: unrunnable specs die loudly, naming the field --------------------
+
+TEST(ChurnDeath, ZeroHorizonExitsNamingField) {
+  const Params p = Params::make(16, 8);
+  ChurnSpec spec;
+  spec.probe_every = 16;
+  EXPECT_EXIT(run_churn(p, spec, 1), ::testing::ExitedWithCode(2),
+              "field: horizon");
+}
+
+TEST(ChurnDeath, ZeroProbeEveryExitsNamingField) {
+  const Params p = Params::make(16, 8);
+  ChurnSpec spec;
+  spec.horizon = 1000;
+  spec.probe_every = 0;
+  EXPECT_EXIT(run_churn(p, spec, 1), ::testing::ExitedWithCode(2),
+              "field: probe_every");
+}
+
+TEST(ChurnDeath, BurstLargerThanPopulationExitsNamingField) {
+  const Params p = Params::make(16, 8);
+  ChurnSpec spec;
+  spec.horizon = 1000;
+  spec.probe_every = 16;
+  spec.burst_period = 100;
+  spec.burst_size = 17;  // > n
+  EXPECT_EXIT(run_churn(p, spec, 1), ::testing::ExitedWithCode(2),
+              "field: burst_size");
 }
 
 }  // namespace

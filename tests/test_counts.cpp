@@ -546,6 +546,35 @@ TEST(CountsKernel, PackedKeyCompactKeepsLiveIdsStable) {
   expect_index_consistent(kernel);
 }
 
+TEST(CountsKernel, InsertRemoveAgentAreExactUnderChurn) {
+  // The churn primitives: one-agent edits must keep counts, totals and the
+  // Fenwick index exact through sustained join/leave/corrupt traffic.
+  CountsKernel<int> kernel;
+  util::Rng rng(23);
+  for (int i = 0; i < 64; ++i) kernel.insert_agent(static_cast<int>(i % 7));
+  EXPECT_EQ(kernel.population_size(), 64u);
+  for (int round = 0; round < 2000; ++round) {
+    // leave: uniform victim via Fenwick descent, like the fault runner.
+    const auto victim =
+        kernel.sample_class(rng.below(kernel.population_size()));
+    kernel.remove_agent(victim);
+    // join: sometimes a brand-new state (id churn), sometimes an old one.
+    kernel.insert_agent(round % 3 == 0 ? 1000 + round
+                                       : static_cast<int>(rng.below(7)));
+    if (kernel.should_compact()) kernel.compact();
+  }
+  EXPECT_EQ(kernel.population_size(), 64u);
+  std::uint64_t total = 0;
+  kernel.for_each([&](int, std::uint64_t c) { total += c; });
+  EXPECT_EQ(total, 64u);
+  expect_index_consistent(kernel);
+  // Bounded allocation: 2000 one-shot novel states passed through, but the
+  // compaction policy reclaims them — the registry must not grow linearly
+  // with churn history.
+  EXPECT_LT(kernel.num_allocated_states(), 128u);
+  EXPECT_GT(kernel.compactions(), 0u);
+}
+
 TEST(CountsKernel, HintedIndexOfHonorsThePackedKey) {
   CountsKernel<PackedKey> kernel;
   const auto a = kernel.add(PackedKey{0, 5}, 1);

@@ -78,5 +78,79 @@ TEST(Snapshot, RejectsCorruptedField) {
   EXPECT_FALSE(snapshot_read(p, text).has_value());
 }
 
+// Replaces the value of the first `key=` occurrence with `value`.
+std::string with_field(std::string text, const std::string& key,
+                       const std::string& value) {
+  const auto pos = text.find(key);
+  EXPECT_NE(pos, std::string::npos) << key;
+  const auto begin = pos + key.size();
+  auto end = begin;
+  while (end < text.size() && text[end] != ' ' && text[end] != '\n') ++end;
+  text.replace(begin, end - begin, value);
+  return text;
+}
+
+TEST(Snapshot, RejectsDuplicatedAgentStanza) {
+  const Params p = Params::make(8, 4);
+  const auto config = make_safe_config(p);
+  // A trailing duplicated stanza claims more agents than the header's n:
+  // the parse must fail rather than silently drop or absorb it.
+  const std::string text =
+      snapshot_write(p, config) + snapshot_write_agent(config.front());
+  EXPECT_FALSE(snapshot_read(p, text).has_value());
+}
+
+TEST(Snapshot, RejectsCountOverflowAndNegativeFields) {
+  const Params p = Params::make(8, 4);
+  const std::string text = snapshot_write(p, make_safe_config(p));
+  // 2^32: one past the uint32 fields' range — must not wrap.
+  EXPECT_FALSE(
+      snapshot_read(p, with_field(text, " rank=", "4294967296")).has_value());
+  // Negative values must not wrap through unsigned parsing either.
+  EXPECT_FALSE(
+      snapshot_read(p, with_field(text, " rank=", "-1")).has_value());
+  // Absurd container sizes are rejected before any allocation.
+  EXPECT_FALSE(
+      snapshot_read(p, with_field(text, " chan_n=", "4000000000"))
+          .has_value());
+  EXPECT_FALSE(
+      snapshot_read(p, with_field(text, " buckets=", "4000000000"))
+          .has_value());
+}
+
+TEST(Snapshot, AgentStanzaCodecRoundTrips) {
+  const Params p = Params::make(12, 4);
+  util::Rng rng(17);
+  for (const Corruption c : all_corruptions()) {
+    for (const Agent& a : make_adversarial_config(p, c, rng)) {
+      const std::string stanza = snapshot_write_agent(a);
+      const auto back = snapshot_read_agent(stanza);
+      ASSERT_TRUE(back.has_value()) << corruption_name(c);
+      EXPECT_EQ(*back, a) << corruption_name(c);
+      // Strictness: trailing garbage and truncation both reject.
+      EXPECT_FALSE(snapshot_read_agent(stanza + " x").has_value());
+      EXPECT_FALSE(
+          snapshot_read_agent(stanza.substr(0, stanza.size() / 2)).has_value());
+    }
+  }
+}
+
+TEST(Snapshot, RoundTripPropertyOverRandomConfigs) {
+  // Property sweep: every corruption class × several seeds drives the
+  // writer through randomized field values (identifiers, channels, message
+  // buckets); read(write(config)) must be the identity on all of them.
+  const Params p = Params::make(10, 4);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    for (const Corruption c : all_corruptions()) {
+      const auto config = make_adversarial_config(p, c, rng);
+      const auto parsed = snapshot_read(p, snapshot_write(p, config));
+      ASSERT_TRUE(parsed.has_value())
+          << corruption_name(c) << " seed " << seed;
+      EXPECT_EQ(*parsed, config) << corruption_name(c) << " seed " << seed;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ssle::core
